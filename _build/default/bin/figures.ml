@@ -1,0 +1,70 @@
+(* Regenerate the paper's figures as SVG plots into ./figures/.
+
+   - fig5.svg  — form of the bounds (generic network, normalized time)
+   - fig11.svg — bounds and exact response of the Fig. 7 network
+   - fig13.svg — PLA delay bounds vs minterm count, log-log
+
+   Run with: dune exec bin/figures.exe [output-dir] *)
+
+let samples lo hi n f =
+  List.init n (fun i ->
+      let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+      (x, f x))
+
+let fig5 dir =
+  let ts = Rctree.Expr.times Rctree.Expr.fig7 in
+  let t_max = 4. *. ts.Rctree.Times.t_p in
+  let norm t = t /. ts.Rctree.Times.t_p in
+  let curve f = List.map (fun (t, v) -> (norm t, v)) (samples 0. t_max 160 f) in
+  Reprolib.Svg_plot.write_file
+    ~title:"Fig. 5 - form of the bounds" ~x_label:"t / T_P" ~y_label:"v(t)"
+    (Filename.concat dir "fig5.svg")
+    [
+      Reprolib.Svg_plot.series ~label:"upper bound" (curve (Rctree.Bounds.v_max ts));
+      Reprolib.Svg_plot.series ~label:"lower bound" (curve (Rctree.Bounds.v_min ts));
+    ]
+
+let fig11 dir =
+  let ts = Rctree.Expr.times Rctree.Expr.fig7 in
+  let tree = Rctree.Convert.tree_of_expr Rctree.Expr.fig7 in
+  let out = Rctree.Tree.output_named tree "out" in
+  let times = Array.init 121 (fun i -> float_of_int i *. 5.) in
+  let wave = Circuit.Measure.exact_response tree ~output:out ~times in
+  let pairs f = Array.to_list (Array.map (fun t -> (t, f t)) times) in
+  Reprolib.Svg_plot.write_file
+    ~title:"Fig. 11 - bounds vs exact response (Fig. 7 network)" ~x_label:"t" ~y_label:"v(t)"
+    (Filename.concat dir "fig11.svg")
+    [
+      Reprolib.Svg_plot.series ~label:"upper bound" (pairs (Rctree.Bounds.v_max ts));
+      Reprolib.Svg_plot.series ~label:"exact" ~dashed:true
+        (pairs (Circuit.Waveform.value_at wave));
+      Reprolib.Svg_plot.series ~label:"lower bound" (pairs (Rctree.Bounds.v_min ts));
+    ]
+
+let fig13 dir =
+  let p = Tech.Process.default_4um in
+  let params = Tech.Pla.default_params p in
+  let ns = [ 2; 3; 4; 6; 8; 10; 14; 20; 28; 40; 56; 80; 100 ] in
+  let sweep = Tech.Pla.sweep p params ~minterms:ns in
+  let upper = List.map (fun (n, _, hi) -> (float_of_int n, hi *. 1e9)) sweep in
+  let lower =
+    List.filter_map
+      (fun (n, lo, _) -> if lo > 0. then Some (float_of_int n, lo *. 1e9) else None)
+      sweep
+  in
+  Reprolib.Svg_plot.write_file ~log_x:true ~log_y:true
+    ~title:"Fig. 13 - PLA line delay vs minterms (V = 0.7)" ~x_label:"number of minterms"
+    ~y_label:"delay (ns)"
+    (Filename.concat dir "fig13.svg")
+    [
+      Reprolib.Svg_plot.series ~label:"upper bound" upper;
+      Reprolib.Svg_plot.series ~label:"lower bound" lower;
+    ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "figures" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  fig5 dir;
+  fig11 dir;
+  fig13 dir;
+  Printf.printf "wrote %s/fig5.svg, fig11.svg, fig13.svg\n" dir

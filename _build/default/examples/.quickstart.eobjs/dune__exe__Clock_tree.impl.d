@@ -1,0 +1,1 @@
+examples/clock_tree.ml: Array Circuit Float List Printf Rctree Reprolib Tech

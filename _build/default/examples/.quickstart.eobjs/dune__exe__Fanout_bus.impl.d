@@ -1,0 +1,1 @@
+examples/fanout_bus.ml: Circuit List Printf Rctree Reprolib Spice Tech

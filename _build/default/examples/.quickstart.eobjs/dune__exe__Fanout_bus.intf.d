@@ -1,0 +1,1 @@
+examples/fanout_bus.mli:

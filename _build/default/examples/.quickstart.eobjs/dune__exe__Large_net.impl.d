@@ -1,0 +1,1 @@
+examples/large_net.ml: Circuit List Printf Rctree Reprolib Unix

@@ -1,0 +1,1 @@
+examples/large_net.mli:

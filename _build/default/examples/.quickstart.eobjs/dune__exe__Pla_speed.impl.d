@@ -1,0 +1,1 @@
+examples/pla_speed.ml: Array Format List Numeric Printf Rctree Reprolib Tech

@@ -1,0 +1,1 @@
+examples/pla_speed.mli:

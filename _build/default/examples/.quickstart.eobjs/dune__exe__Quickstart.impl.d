@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuit List Printf Rctree

@@ -1,0 +1,1 @@
+examples/slow_edge.ml: Circuit List Printf Rctree Reprolib

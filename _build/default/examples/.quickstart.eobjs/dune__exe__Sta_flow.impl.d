@@ -1,0 +1,1 @@
+examples/sta_flow.ml: List Printf Sta Tech

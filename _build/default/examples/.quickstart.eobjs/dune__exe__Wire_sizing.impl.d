@@ -1,0 +1,1 @@
+examples/wire_sizing.ml: Array Option Printf Rctree Reprolib String Tech

@@ -1,0 +1,84 @@
+(* Static timing analysis with interconnect bounds.
+
+   A small datapath slice: two primary inputs buffer through a long
+   poly line into a nand, whose output fans out over a star network to
+   an inverter pair merging into a nor.  Every net carries an RC model,
+   so net delays come from the paper's bounds and the endpoint arrival
+   is a certified window, not a guess.
+
+   The run compares Bounds mode with Elmore mode (the ablation of
+   DESIGN.md): Elmore lands inside the certified window but cannot say
+   how wrong it might be; the window can.
+
+   Run with: dune exec examples/sta_flow.exe *)
+
+let () =
+  let process = Tech.Process.default_4um in
+  let lib = Sta.Celllib.default process in
+  let d = Sta.Design.create lib in
+  let pin instance p = { Sta.Design.instance; pin = p } in
+
+  Sta.Design.add_instance d ~cell:"buf4" "ibuf_a";
+  Sta.Design.add_instance d ~cell:"buf4" "ibuf_b";
+  Sta.Design.add_instance d ~cell:"nand2" "g1";
+  Sta.Design.add_instance d ~cell:"inv1" "g2";
+  Sta.Design.add_instance d ~cell:"inv4" "g3";
+  Sta.Design.add_instance d ~cell:"nor2" "g4";
+
+  let ext = Tech.Mosfet.driver ~name:"pad" ~on_resistance:200. ~output_capacitance:0.1e-12 () in
+  Sta.Design.add_net d ~driver:(Sta.Design.Primary ext) ~loads:[ pin "ibuf_a" "a" ] "pad_a";
+  Sta.Design.add_net d ~driver:(Sta.Design.Primary ext) ~loads:[ pin "ibuf_b" "a" ] "pad_b";
+  (* long poly runs from the pads' buffers into the gate *)
+  Sta.Design.add_net d
+    ~wire:(Sta.Design.Line { resistance = 1800.; capacitance = 0.11e-12 })
+    ~driver:(Sta.Design.Cell_output (pin "ibuf_a" "y"))
+    ~loads:[ pin "g1" "a" ] "na";
+  Sta.Design.add_net d
+    ~wire:(Sta.Design.Line { resistance = 900.; capacitance = 0.054e-12 })
+    ~driver:(Sta.Design.Cell_output (pin "ibuf_b" "y"))
+    ~loads:[ pin "g1" "b" ] "nb";
+  (* fanout through a star to the inverter pair *)
+  Sta.Design.add_net d
+    ~wire:(Sta.Design.Star { resistance = 600.; capacitance = 0.04e-12 })
+    ~driver:(Sta.Design.Cell_output (pin "g1" "y"))
+    ~loads:[ pin "g2" "a"; pin "g3" "a" ] "nf";
+  (* the inverters merge at the nor *)
+  Sta.Design.add_net d
+    ~wire:(Sta.Design.Daisy { resistance = 400.; capacitance = 0.03e-12 })
+    ~driver:(Sta.Design.Cell_output (pin "g2" "y"))
+    ~loads:[ pin "g4" "a" ] "n2";
+  Sta.Design.add_net d
+    ~wire:(Sta.Design.Lumped 0.06e-12)
+    ~driver:(Sta.Design.Cell_output (pin "g3" "y"))
+    ~loads:[ pin "g4" "b" ] "n3";
+  Sta.Design.add_net d
+    ~wire:(Sta.Design.Line { resistance = 2500.; capacitance = 0.15e-12 })
+    ~driver:(Sta.Design.Cell_output (pin "g4" "y"))
+    ~loads:[] "out";
+  Sta.Design.mark_primary_output d "out";
+
+  (match Sta.Design.check d with
+  | [] -> print_endline "design check: clean\n"
+  | problems ->
+      print_endline "design check:";
+      List.iter (fun p -> print_endline ("  " ^ p)) problems;
+      print_newline ());
+
+  let bounds = Sta.Analysis.run_exn d in
+  print_string (Sta.Report.timing_report ~period:12e-9 bounds);
+  print_newline ();
+  let elmore = Sta.Analysis.run_exn ~mode:Sta.Analysis.Elmore_mode d in
+  print_string (Sta.Report.timing_report elmore);
+
+  (* how much certainty does the window buy? *)
+  (match (Sta.Analysis.worst_endpoint bounds, Sta.Analysis.worst_endpoint elmore) with
+  | Some (_, wb), Some (_, we) ->
+      Printf.printf
+        "\ncertified window: [%.3f, %.3f] ns; Elmore point estimate: %.3f ns.\n\
+         Elmore exceeds the certified worst case by %.3f ns — it overestimates the 50%%\n\
+         crossing (a single pole crosses at 0.69 tau while its Elmore delay is tau),\n\
+         while the bounds are guaranteed on both sides.\n"
+        (wb.Sta.Analysis.early *. 1e9) (wb.Sta.Analysis.late *. 1e9)
+        (we.Sta.Analysis.late *. 1e9)
+        ((we.Sta.Analysis.late -. wb.Sta.Analysis.late) *. 1e9)
+  | _, _ -> ())

@@ -1,0 +1,1 @@
+lib/circuit/ac.ml: Array Exact Float Numeric

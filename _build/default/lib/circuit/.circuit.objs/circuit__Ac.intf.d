@@ -1,0 +1,1 @@
+lib/circuit/ac.mli: Exact Rctree

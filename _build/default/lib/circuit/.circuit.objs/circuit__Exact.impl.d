@@ -1,0 +1,1 @@
+lib/circuit/exact.ml: Array Float Mna Numeric Waveform

@@ -1,0 +1,1 @@
+lib/circuit/exact.mli: Mna Rctree Waveform

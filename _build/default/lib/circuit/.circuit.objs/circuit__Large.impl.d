@@ -1,0 +1,1 @@
+lib/circuit/large.ml: Array Float List Numeric Printf Rctree Waveform

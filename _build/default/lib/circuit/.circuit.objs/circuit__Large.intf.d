@@ -1,0 +1,1 @@
+lib/circuit/large.mli: Numeric Rctree Waveform

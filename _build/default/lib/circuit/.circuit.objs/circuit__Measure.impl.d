@@ -1,0 +1,1 @@
+lib/circuit/measure.ml: Array Exact List Numeric Rctree Waveform

@@ -1,0 +1,1 @@
+lib/circuit/measure.mli: Rctree Waveform

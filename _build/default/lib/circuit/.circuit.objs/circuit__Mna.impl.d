@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Float Numeric Printf Rctree

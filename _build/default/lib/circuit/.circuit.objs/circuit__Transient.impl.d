@@ -1,0 +1,1 @@
+lib/circuit/transient.ml: Array Fun List Mna Numeric Waveform

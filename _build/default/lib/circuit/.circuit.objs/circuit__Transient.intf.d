@@ -1,0 +1,1 @@
+lib/circuit/transient.mli: Rctree Waveform

@@ -1,0 +1,57 @@
+type t = { exact : Exact.t }
+
+let of_exact exact = { exact }
+let of_tree ?cap_floor tree = { exact = Exact.of_tree ?cap_floor tree }
+
+(* H(jw) = sum_j k_j * l_j / (jw + l_j); accumulate real and imaginary
+   parts: l_j/(jw + l_j) = l_j (l_j - jw) / (l_j^2 + w^2) *)
+let complex_response { exact } ~node omega =
+  if omega < 0. then invalid_arg "Ac.response: negative frequency";
+  match Exact.residues exact ~node with
+  | None -> (1., 0.) (* the driven input *)
+  | Some terms ->
+      let re = ref 0. and im = ref 0. in
+      Array.iter
+        (fun (k, lambda) ->
+          let denom = (lambda *. lambda) +. (omega *. omega) in
+          if denom > 0. then begin
+            re := !re +. (k *. lambda *. lambda /. denom);
+            im := !im -. (k *. lambda *. omega /. denom)
+          end)
+        terms;
+      (!re, !im)
+
+let response ac ~node omega =
+  let re, im = complex_response ac ~node omega in
+  (sqrt ((re *. re) +. (im *. im)), atan2 im re)
+
+let magnitude ac ~node omega = fst (response ac ~node omega)
+let dc_gain ac ~node = magnitude ac ~node 0.
+
+let bandwidth_3db ac ~node =
+  let target = 1. /. sqrt 2. in
+  if magnitude ac ~node 0. <= target then 0.
+  else begin
+    (* scan up from the dominant pole's decade below *)
+    let tau = Exact.dominant_time_constant ac.exact in
+    if tau <= 0. then Float.infinity
+    else begin
+      let f omega = magnitude ac ~node omega -. target in
+      let start = 0.01 /. tau in
+      if f start <= 0. then
+        (* already below target at the scan start: bracket downward *)
+        Numeric.Roots.brent f ~lo:0. ~hi:start
+      else begin
+        match Numeric.Roots.expand_bracket f ~lo:start ~hi:(1. /. tau) with
+        | lo, hi -> Numeric.Roots.brent f ~lo ~hi
+        | exception Numeric.Roots.No_bracket -> Float.infinity
+      end
+    end
+  end
+
+let bode_table ac ~node ~omegas =
+  Array.map
+    (fun omega ->
+      let mag, phase = response ac ~node omega in
+      (omega, 20. *. log10 (Float.max mag 1e-300), phase *. 180. /. Float.pi))
+    omegas

@@ -1,0 +1,57 @@
+(** Exact unit-step response of a lumped RC tree.
+
+    With the input stepping from 0 to 1 V at [t = 0] and all nodes
+    initially discharged, the voltage at internal node [i] is
+
+    {v v_i(t) = 1 - Σ_j  k_{ij} exp(-λ_j t) v}
+
+    obtained by symmetrizing the nodal system with the capacitance
+    scaling [A = C^{-1/2} G C^{-1/2}] and eigendecomposing [A] (all
+    [λ_j > 0]).  This replaces the unnamed circuit simulator the paper
+    used for the exact curve of Fig. 11.
+
+    Distributed lines must be discretized first
+    ({!Rctree.Lump.discretize}); with enough sections the result
+    converges to the distributed network's response. *)
+
+type t
+
+val of_tree : ?cap_floor:float -> Rctree.Tree.t -> t
+(** See {!Mna.of_tree} for [cap_floor] and the accepted trees. *)
+
+val of_system : Mna.system -> t
+
+val poles : t -> float array
+(** The natural frequencies [λ_j], ascending and all positive. *)
+
+val dominant_time_constant : t -> float
+(** [1 / λ_min] — the slowest settling time constant. *)
+
+val voltage : t -> node:Rctree.Tree.node_id -> float -> float
+(** [voltage r ~node t] — exact response at time [t >= 0].  The input
+    node returns 1 (it is the source).  Raises [Invalid_argument] on an
+    unknown node or negative time. *)
+
+val sample : t -> node:Rctree.Tree.node_id -> times:float array -> Waveform.t
+
+val delay : t -> node:Rctree.Tree.node_id -> threshold:float -> float
+(** Exact threshold-crossing time (monotone response, found by Brent's
+    method).  Raises [Invalid_argument] unless [0 <= threshold < 1];
+    0 for the input node. *)
+
+val residues : t -> node:Rctree.Tree.node_id -> (float * float) array option
+(** The [(k_ij, λ_j)] pairs of the node's response expansion; [None]
+    for the driven input node.  Raises [Invalid_argument] on an unknown
+    node. *)
+
+val transfer_moment : t -> node:Rctree.Tree.node_id -> int -> float
+(** [transfer_moment r ~node j] is the j-th transfer-function moment
+    [m_j = Σ_j k_ij / λ_j^j] (so [m_0 = 1] and [m_1] is the Elmore
+    delay) — the oracle the {!Rctree.Higher_moments} recursion is
+    tested against.  Raises [Invalid_argument] for negative [j]. *)
+
+val area_above_response : t -> node:Rctree.Tree.node_id -> float
+(** Closed form [∫_0^∞ (1 - v(t)) dt = Σ_j k_{ij}/λ_j].  By the paper's
+    eq. (2)/Fig. 4 argument this equals the Elmore delay [T_De] — used
+    as a strong cross-check between the simulator and the moments
+    code (experiment E6). *)

@@ -1,0 +1,132 @@
+type operator = {
+  conductance : float array; (* per node: 1/R of the edge above it; 0 for the input *)
+  parent_row : int array; (* row of the parent; -1 when the parent is the input *)
+  children_rows : int list array; (* rows of the children *)
+  c_over_dt : float array;
+  source_rows : int list; (* rows whose parent is the driven input *)
+  row_of_node : int array;
+}
+
+let operator ?cap_floor tree ~dt =
+  if dt <= 0. then invalid_arg "Large.operator: dt must be positive";
+  if Rctree.Tree.has_distributed_lines tree then
+    invalid_arg "Large.operator: discretize distributed lines first";
+  let n = Rctree.Tree.node_count tree in
+  let input = Rctree.Tree.input tree in
+  let rows = n - 1 in
+  let row_of_node = Array.make n (-1) in
+  let next = ref 0 in
+  for id = 0 to n - 1 do
+    if id <> input then begin
+      row_of_node.(id) <- !next;
+      incr next
+    end
+  done;
+  let floor =
+    match cap_floor with
+    | Some f ->
+        if f < 0. then invalid_arg "Large.operator: cap_floor must be non-negative";
+        f
+    | None ->
+        let total = Rctree.Tree.total_capacitance tree in
+        if total > 0. then 1e-12 *. total else 1e-18
+  in
+  let conductance = Array.make rows 0. in
+  let parent_row = Array.make rows (-1) in
+  let children_rows = Array.make rows [] in
+  let c_over_dt = Array.make rows 0. in
+  let source_rows = ref [] in
+  for id = 0 to n - 1 do
+    if id <> input then begin
+      let row = row_of_node.(id) in
+      c_over_dt.(row) <- Float.max floor (Rctree.Tree.capacitance tree id) /. dt;
+      (match Rctree.Tree.element tree id with
+      | Some (Rctree.Element.Resistor r) when r > 0. -> conductance.(row) <- 1. /. r
+      | Some (Rctree.Element.Resistor _) ->
+          invalid_arg
+            (Printf.sprintf "Large.operator: node %S connects through zero resistance"
+               (Rctree.Tree.node_name tree id))
+      | Some (Rctree.Element.Line _) | Some (Rctree.Element.Capacitor _) | None -> assert false);
+      match Rctree.Tree.parent tree id with
+      | Some p when p = input ->
+          parent_row.(row) <- -1;
+          source_rows := row :: !source_rows
+      | Some p ->
+          let prow = row_of_node.(p) in
+          parent_row.(row) <- prow;
+          children_rows.(prow) <- row :: children_rows.(prow)
+      | None -> assert false
+    end
+  done;
+  { conductance; parent_row; children_rows; c_over_dt; source_rows = !source_rows; row_of_node }
+
+let node_count op = Array.length op.conductance
+
+(* y = (C/dt + G) x, walking edges instead of a matrix *)
+let apply op x =
+  let rows = Array.length op.conductance in
+  if Array.length x <> rows then invalid_arg "Large.apply: dimension mismatch";
+  let y = Array.make rows 0. in
+  for row = 0 to rows - 1 do
+    y.(row) <- op.c_over_dt.(row) *. x.(row);
+    (* the edge above [row]: current g*(x_row - x_parent) *)
+    let xp = if op.parent_row.(row) = -1 then 0. else x.(op.parent_row.(row)) in
+    y.(row) <- y.(row) +. (op.conductance.(row) *. (x.(row) -. xp));
+    (* edges below [row] *)
+    List.iter
+      (fun child ->
+        y.(row) <- y.(row) +. (op.conductance.(child) *. (x.(row) -. x.(child))))
+      op.children_rows.(row)
+  done;
+  y
+
+let step_response ?cap_floor ?(tol = 1e-10) tree ~dt ~t_end ~outputs =
+  if t_end < 0. then invalid_arg "Large.step_response: negative t_end";
+  let op = operator ?cap_floor tree ~dt in
+  List.iter
+    (fun node ->
+      if node < 0 || node >= Array.length op.row_of_node then
+        invalid_arg "Large.step_response: unknown output node")
+    outputs;
+  let rows = node_count op in
+  let diag =
+    Array.init rows (fun row ->
+        op.c_over_dt.(row) +. op.conductance.(row)
+        +. List.fold_left (fun acc child -> acc +. op.conductance.(child)) 0. op.children_rows.(row))
+  in
+  let steps = int_of_float (Float.ceil (t_end /. dt)) in
+  let x = ref (Array.make rows 0.) in
+  let times = Array.init (steps + 1) (fun k -> float_of_int k *. dt) in
+  let traces = List.map (fun node -> (node, Array.make (steps + 1) 0.)) outputs in
+  let record k =
+    List.iter
+      (fun (node, arr) ->
+        let row = op.row_of_node.(node) in
+        arr.(k) <- (if row = -1 then 1. else !x.(row)))
+      traces
+  in
+  (* at t = 0 everything is discharged except the (ideal) input *)
+  List.iter (fun (node, arr) -> if op.row_of_node.(node) = -1 then arr.(0) <- 1.) traces;
+  for k = 1 to steps do
+    (* rhs = C/dt x_prev + b, with b the source injection (u = 1) *)
+    let rhs = Array.mapi (fun row xi -> op.c_over_dt.(row) *. xi) !x in
+    List.iter (fun row -> rhs.(row) <- rhs.(row) +. op.conductance.(row)) op.source_rows;
+    let solution, (_ : Numeric.Cg.stats) =
+      Numeric.Cg.solve ~tol ~diag_precondition:diag ~mul:(apply op) rhs
+    in
+    x := solution;
+    record k
+  done;
+  List.map (fun (node, arr) -> (node, Waveform.create ~times ~values:arr)) traces
+
+let rc_chain ~sections ~r ~c =
+  if sections < 1 then invalid_arg "Large.rc_chain: need at least one section";
+  let b = Rctree.Tree.Builder.create ~name:(Printf.sprintf "chain-%d" sections) () in
+  let at = ref (Rctree.Tree.Builder.input b) in
+  for _ = 1 to sections do
+    let node = Rctree.Tree.Builder.add_resistor b ~parent:!at r in
+    Rctree.Tree.Builder.add_capacitance b node c;
+    at := node
+  done;
+  Rctree.Tree.Builder.mark_output b ~label:"out" !at;
+  Rctree.Tree.Builder.finish b

@@ -1,0 +1,40 @@
+(** Matrix-free transient simulation for large RC trees.
+
+    The dense path ({!Transient}) factors an n×n matrix — fine for the
+    paper's networks, wasteful past a few hundred nodes.  Here the
+    backward-Euler iteration matrix [(C/dt + G)] is never formed: its
+    action is computed straight off the tree adjacency in O(n), and
+    each step is solved by Jacobi-preconditioned conjugate gradients
+    (the matrix is SPD for any RC tree).  Memory is O(n); a
+    100 000-node net is a non-event.
+
+    Accepts the same trees as {!Mna.of_tree} (lumped, positive edge
+    resistances). *)
+
+type operator
+(** The matrix-free [(C/dt + G)] of one tree at one step size. *)
+
+val operator : ?cap_floor:float -> Rctree.Tree.t -> dt:float -> operator
+
+val apply : operator -> Numeric.Vector.t -> Numeric.Vector.t
+(** One operator application — exposed for testing against the dense
+    stamping. *)
+
+val node_count : operator -> int
+(** Unknowns (tree nodes minus the input). *)
+
+val step_response :
+  ?cap_floor:float ->
+  ?tol:float ->
+  Rctree.Tree.t ->
+  dt:float ->
+  t_end:float ->
+  outputs:Rctree.Tree.node_id list ->
+  (Rctree.Tree.node_id * Waveform.t) list
+(** Backward-Euler unit-step response, recording only the requested
+    nodes.  [tol] is the CG relative-residual target (default 1e-10).
+    Raises [Invalid_argument] on bad [dt]/[t_end] or unknown nodes. *)
+
+val rc_chain : sections:int -> r:float -> c:float -> Rctree.Tree.t
+(** A test/bench workload: a uniform chain of [sections] RC sections
+    with the far end marked ["out"]. *)

@@ -1,0 +1,42 @@
+let default_segments = 64
+
+let discretize_for_simulation ?(segments = default_segments) tree =
+  if Rctree.Tree.has_distributed_lines tree then Rctree.Lump.discretize ~segments tree else tree
+
+(* Discretization preserves node ids only through names; recover the
+   output in the lumped tree by its label when possible, by name
+   otherwise. *)
+let corresponding_node original lumped node =
+  match
+    List.find_opt (fun (_, id) -> id = node) (Rctree.Tree.outputs original)
+  with
+  | Some (label, _) -> Rctree.Tree.output_named lumped label
+  | None -> (
+      match Rctree.Tree.find_node lumped (Rctree.Tree.node_name original node) with
+      | Some id -> id
+      | None -> invalid_arg "Measure: node does not survive discretization")
+
+let exact_delay ?segments tree ~output ~threshold =
+  let lumped = discretize_for_simulation ?segments tree in
+  let node = corresponding_node tree lumped output in
+  Exact.delay (Exact.of_tree lumped) ~node ~threshold
+
+let exact_response ?segments tree ~output ~times =
+  let lumped = discretize_for_simulation ?segments tree in
+  let node = corresponding_node tree lumped output in
+  Exact.sample (Exact.of_tree lumped) ~node ~times
+
+let elmore_by_area ?segments tree ~output =
+  let lumped = discretize_for_simulation ?segments tree in
+  let node = corresponding_node tree lumped output in
+  Exact.area_above_response (Exact.of_tree lumped) ~node
+
+let bounds_hold ?segments ?(rtol = 1e-6) tree ~output ~times =
+  let ts = Rctree.Moments.times tree ~output in
+  let wave = exact_response ?segments tree ~output ~times in
+  Array.for_all
+    (fun t ->
+      let v = Waveform.value_at wave t in
+      Numeric.Float_cmp.approx_le ~rtol (Rctree.Bounds.v_min ts t) v
+      && Numeric.Float_cmp.approx_le ~rtol v (Rctree.Bounds.v_max ts t))
+    times

@@ -1,0 +1,35 @@
+(** High-level measurements tying the simulator back to the paper.
+
+    These are the quantities the paper's figures compare: exact
+    threshold delays (Fig. 11) and the area identity of Fig. 4.  Trees
+    with distributed lines are discretized internally. *)
+
+val default_segments : int
+(** Sections used per distributed line when discretizing (64). *)
+
+val exact_delay :
+  ?segments:int -> Rctree.Tree.t -> output:Rctree.Tree.node_id -> threshold:float -> float
+(** Exact time for the output to reach [threshold], by
+    eigendecomposition of the (discretized) network. *)
+
+val exact_response :
+  ?segments:int -> Rctree.Tree.t -> output:Rctree.Tree.node_id -> times:float array -> Waveform.t
+(** Exact step response sampled at the given times. *)
+
+val elmore_by_area : ?segments:int -> Rctree.Tree.t -> output:Rctree.Tree.node_id -> float
+(** The area above the step response (Fig. 4), computed in closed form
+    from the eigendecomposition.  Equal to [Moments.elmore] up to
+    discretization of the lines. *)
+
+val bounds_hold :
+  ?segments:int ->
+  ?rtol:float ->
+  Rctree.Tree.t ->
+  output:Rctree.Tree.node_id ->
+  times:float array ->
+  bool
+(** True when [v_min(t) <= v_exact(t) <= v_max(t)] at every sampled
+    time — the visual claim of Fig. 11 as a checkable proposition. *)
+
+val discretize_for_simulation : ?segments:int -> Rctree.Tree.t -> Rctree.Tree.t
+(** The tree actually simulated: unchanged when already lumped. *)

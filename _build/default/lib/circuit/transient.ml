@@ -1,0 +1,51 @@
+type integration = Backward_euler | Trapezoidal
+
+type result = {
+  times : float array;
+  node_values : float array array; (* indexed by tree node id, then sample *)
+}
+
+let step_input t = if t < 0. then 0. else 1.
+
+let ramp_input ~rise_time t =
+  if rise_time <= 0. then invalid_arg "Transient.ramp_input: rise_time must be positive";
+  if t <= 0. then 0. else if t >= rise_time then 1. else t /. rise_time
+
+let simulate ?(integration = Trapezoidal) ?cap_floor tree ~dt ~t_end ~input =
+  if dt <= 0. then invalid_arg "Transient.simulate: dt must be positive";
+  if t_end < 0. then invalid_arg "Transient.simulate: t_end must be non-negative";
+  let sys = Mna.of_tree ?cap_floor tree in
+  let c = Mna.c_matrix sys in
+  let stepper =
+    match integration with
+    | Backward_euler -> Numeric.Ode.backward_euler ~c ~g:sys.g ~b:sys.b ~dt
+    | Trapezoidal -> Numeric.Ode.trapezoidal ~c ~g:sys.g ~b:sys.b ~dt
+  in
+  let rows = Numeric.Vector.dim sys.b in
+  let trajectory =
+    Numeric.Ode.simulate stepper ~x0:(Numeric.Vector.create rows) ~u:input ~t_end
+  in
+  let samples = List.length trajectory in
+  let times = Array.make samples 0. in
+  let n = Array.length sys.row_of_node in
+  let node_values = Array.init n (fun _ -> Array.make samples 0.) in
+  List.iteri
+    (fun k (t, x) ->
+      times.(k) <- t;
+      for node = 0 to n - 1 do
+        let row = sys.row_of_node.(node) in
+        node_values.(node).(k) <- (if row = -1 then input t else x.(row))
+      done)
+    trajectory;
+  { times; node_values }
+
+let waveform r ~node =
+  if node < 0 || node >= Array.length r.node_values then
+    invalid_arg "Transient.waveform: unknown node";
+  Waveform.create ~times:r.times ~values:r.node_values.(node)
+
+let nodes r = List.init (Array.length r.node_values) Fun.id
+
+let final_voltages r =
+  let last = Array.length r.times - 1 in
+  List.map (fun node -> (node, r.node_values.(node).(last))) (nodes r)

@@ -1,0 +1,38 @@
+(** Time-stepping transient simulation of lumped RC trees.
+
+    The general-purpose companion to {!Exact}: it handles arbitrary
+    input waveforms (ramps, pulse trains), at the price of
+    discretization error.  Trapezoidal integration (the SPICE default)
+    is second-order accurate; halving [dt] quarters the error — tested
+    against {!Exact} in the suite. *)
+
+type integration = Backward_euler | Trapezoidal
+
+type result
+
+val simulate :
+  ?integration:integration ->
+  ?cap_floor:float ->
+  Rctree.Tree.t ->
+  dt:float ->
+  t_end:float ->
+  input:(float -> float) ->
+  result
+(** Simulates from [t = 0] with all nodes discharged.  Requirements on
+    the tree are those of {!Mna.of_tree}.  Raises [Invalid_argument]
+    for non-positive [dt] or negative [t_end]. *)
+
+val step_input : float -> float
+(** The unit step: 0 for [t < 0], 1 from [t = 0] on (the 0+ value,
+    which keeps trapezoidal integration second-order accurate). *)
+
+val ramp_input : rise_time:float -> float -> float
+(** 0 before [t = 0], linear to 1 over [rise_time], then 1. *)
+
+val waveform : result -> node:Rctree.Tree.node_id -> Waveform.t
+(** Raises [Invalid_argument] on an unknown node.  The input node's
+    waveform is the sampled input. *)
+
+val nodes : result -> Rctree.Tree.node_id list
+
+val final_voltages : result -> (Rctree.Tree.node_id * float) list

@@ -1,0 +1,406 @@
+(* rcdelay: command-line front end for the RC-tree delay bounds.
+
+   Subcommands:
+     times     characteristic times of every output of a deck
+     bounds    delay bounds at given thresholds
+     voltage   voltage bounds at given times
+     certify   the paper's OK check for one threshold/deadline
+     simulate  exact step response as CSV
+     pla       the Section V PLA experiment
+     fig10     the paper's Fig. 10 session on the built-in Fig. 7 net
+     ramp      crossing bounds under a ramp input (superposition)
+     moments   higher moments + two-pole model
+     ac        frequency response
+     sta       static timing analysis of a netlist file *)
+
+let load_tree path =
+  match Spice.Parser.parse_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path (Spice.Parser.error_to_string e))
+  | Ok deck -> (
+      match Spice.Elaborate.to_tree deck with
+      | Error e -> Error (Printf.sprintf "%s: %s" path (Spice.Elaborate.error_to_string e))
+      | Ok tree -> Ok tree)
+
+let with_tree path f =
+  match load_tree path with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok tree -> f tree
+
+let fmt_s t = Rctree.Units.format_quantity ~unit_symbol:"s" t
+
+let times_cmd path =
+  with_tree path (fun tree ->
+      let table = Reprolib.Table.create ~columns:[ "output"; "T_P"; "T_De"; "T_Re"; "Elmore" ] in
+      List.iter
+        (fun (label, _, ts) ->
+          Reprolib.Table.add_row table
+            [
+              label;
+              fmt_s ts.Rctree.Times.t_p;
+              fmt_s ts.Rctree.Times.t_d;
+              fmt_s ts.Rctree.Times.t_r;
+              fmt_s ts.Rctree.Times.t_d;
+            ])
+        (Rctree.Moments.all_output_times tree);
+      Reprolib.Table.print table;
+      0)
+
+let bounds_cmd path thresholds =
+  with_tree path (fun tree ->
+      let table = Reprolib.Table.create ~columns:[ "output"; "V"; "t_min"; "t_max" ] in
+      List.iter
+        (fun (label, id, _) ->
+          List.iter
+            (fun v ->
+              let lo, hi = Rctree.delay_bounds tree ~output:id ~threshold:v in
+              Reprolib.Table.add_row table [ label; Printf.sprintf "%g" v; fmt_s lo; fmt_s hi ])
+            thresholds)
+        (Rctree.Moments.all_output_times tree);
+      Reprolib.Table.print table;
+      0)
+
+let voltage_cmd path times =
+  with_tree path (fun tree ->
+      let table = Reprolib.Table.create ~columns:[ "output"; "t"; "v_min"; "v_max" ] in
+      List.iter
+        (fun (label, id, _) ->
+          List.iter
+            (fun t ->
+              let lo, hi = Rctree.voltage_bounds tree ~output:id ~time:t in
+              Reprolib.Table.add_row table
+                [ label; fmt_s t; Printf.sprintf "%.5f" lo; Printf.sprintf "%.5f" hi ])
+            times)
+        (Rctree.Moments.all_output_times tree);
+      Reprolib.Table.print table;
+      0)
+
+let certify_cmd path threshold deadline =
+  with_tree path (fun tree ->
+      let all_pass = ref true in
+      List.iter
+        (fun (label, id, _) ->
+          let verdict = Rctree.certify tree ~output:id ~threshold ~deadline in
+          if verdict <> Rctree.Bounds.Pass then all_pass := false;
+          Printf.printf "%-16s %s\n" label (Rctree.Bounds.verdict_to_string verdict))
+        (Rctree.Moments.all_output_times tree);
+      if !all_pass then 0 else 1)
+
+let simulate_cmd path t_end samples segments =
+  with_tree path (fun tree ->
+      if t_end <= 0. then begin
+        prerr_endline "simulate: --t-end must be positive";
+        1
+      end
+      else begin
+        let times =
+          Array.init samples (fun i -> t_end *. float_of_int i /. float_of_int (samples - 1))
+        in
+        let outs = Rctree.Tree.outputs tree in
+        let waves =
+          List.map
+            (fun (label, id) ->
+              (label, Circuit.Measure.exact_response ~segments tree ~output:id ~times))
+            outs
+        in
+        print_string (String.concat "," ("t" :: List.map fst waves));
+        print_newline ();
+        Array.iter
+          (fun t ->
+            let cells =
+              List.map (fun (_, w) -> Printf.sprintf "%.6g" (Circuit.Waveform.value_at w t)) waves
+            in
+            print_string (String.concat "," (Printf.sprintf "%.6g" t :: cells));
+            print_newline ())
+          times;
+        0
+      end)
+
+let pla_cmd minterms threshold =
+  let process = Tech.Process.default_4um in
+  let params = Tech.Pla.default_params process in
+  let table = Reprolib.Table.create ~columns:[ "minterms"; "t_min"; "t_max" ] in
+  List.iter
+    (fun (n, lo, hi) ->
+      Reprolib.Table.add_row table [ string_of_int n; fmt_s lo; fmt_s hi ])
+    (Tech.Pla.sweep ~threshold process params ~minterms);
+  Reprolib.Table.print table;
+  0
+
+let ramp_cmd path rise threshold =
+  with_tree path (fun tree ->
+      if rise <= 0. then begin
+        prerr_endline "ramp: --rise must be positive";
+        1
+      end
+      else begin
+        let input = Rctree.Excitation.ramp ~rise_time:rise in
+        let table =
+          Reprolib.Table.create ~columns:[ "output"; "step window"; "ramp window" ]
+        in
+        List.iter
+          (fun (label, _, ts) ->
+            let slo, shi = (Rctree.Bounds.t_min ts threshold, Rctree.Bounds.t_max ts threshold) in
+            let rlo, rhi = Rctree.Excitation.crossing_bounds ts input ~threshold in
+            Reprolib.Table.add_row table
+              [
+                label;
+                Printf.sprintf "[%s, %s]" (fmt_s slo) (fmt_s shi);
+                Printf.sprintf "[%s, %s]" (fmt_s rlo) (fmt_s rhi);
+              ])
+          (Rctree.Moments.all_output_times tree);
+        Reprolib.Table.print table;
+        0
+      end)
+
+let moments_cmd path order segments =
+  with_tree path (fun tree ->
+      let lumped =
+        if Rctree.Tree.has_distributed_lines tree then Rctree.Lump.discretize ~segments tree
+        else tree
+      in
+      let columns = "output" :: List.init order (fun j -> Printf.sprintf "m%d" (j + 1)) @ [ "model" ] in
+      let table = Reprolib.Table.create ~columns in
+      List.iter
+        (fun (label, id) ->
+          let m = Rctree.Higher_moments.output_moments lumped ~output:id ~order in
+          let cells = List.init order (fun j -> fmt_s m.(j + 1)) in
+          let model =
+            Format.asprintf "%a" Rctree.Higher_moments.pp_fit
+              (Rctree.Higher_moments.fit lumped ~output:id)
+          in
+          Reprolib.Table.add_row table ((label :: cells) @ [ model ]))
+        (Rctree.Tree.outputs lumped);
+      Reprolib.Table.print table;
+      0)
+
+let ac_cmd path points segments =
+  with_tree path (fun tree ->
+      let lumped =
+        if Rctree.Tree.has_distributed_lines tree then Rctree.Lump.discretize ~segments tree
+        else tree
+      in
+      let ac = Circuit.Ac.of_tree lumped in
+      List.iter
+        (fun (label, id) ->
+          let w3db = Circuit.Ac.bandwidth_3db ac ~node:id in
+          Printf.printf "output %s: f_3dB = %sHz\n" label
+            (Rctree.Units.format_si (w3db /. (2. *. Float.pi)));
+          let omegas =
+            Array.init points (fun i ->
+                w3db *. 0.01 *. Float.pow 10. (4. *. float_of_int i /. float_of_int (points - 1)))
+          in
+          let table = Reprolib.Table.create ~columns:[ "omega(rad/s)"; "dB"; "phase(deg)" ] in
+          Array.iter
+            (fun (omega, db, deg) ->
+              Reprolib.Table.add_row table
+                [
+                  Rctree.Units.format_si omega; Printf.sprintf "%.2f" db; Printf.sprintf "%.1f" deg;
+                ])
+            (Circuit.Ac.bode_table ac ~node:id ~omegas);
+          Reprolib.Table.print table)
+        (Rctree.Tree.outputs lumped);
+      0)
+
+let sta_cmd path period hold elmore =
+  let lib = Sta.Celllib.default Tech.Process.default_4um in
+  match Sta.Netlist_io.parse_file lib path with
+  | Error e ->
+      prerr_endline (Printf.sprintf "%s: %s" path (Sta.Netlist_io.error_to_string e));
+      1
+  | Ok design -> (
+      (match Sta.Design.check design with
+      | [] -> ()
+      | problems ->
+          prerr_endline "design check:";
+          List.iter (fun p -> prerr_endline ("  " ^ p)) problems);
+      let mode = if elmore then Sta.Analysis.Elmore_mode else Sta.Analysis.Bounds_mode in
+      match Sta.Analysis.run ~mode design with
+      | Error cycle ->
+          prerr_endline ("combinational cycle through: " ^ String.concat ", " cycle);
+          1
+      | Ok r ->
+          print_string (Sta.Report.timing_report ?period ?hold r);
+          0)
+
+let fig10_cmd () =
+  let ts = Rctree.Expr.times Rctree.Expr.fig7 in
+  Printf.printf "network: %s\n" (Rctree.Expr.to_string Rctree.Expr.fig7);
+  Printf.printf "T_P = %g   T_De = %g   T_Re = %g\n\n" ts.Rctree.Times.t_p ts.Rctree.Times.t_d
+    ts.Rctree.Times.t_r;
+  let delay = Reprolib.Table.create ~columns:[ "V"; "TMIN"; "TMAX" ] in
+  List.iter
+    (fun v ->
+      Reprolib.Table.add_row delay
+        [
+          Printf.sprintf "%.1f" v;
+          Printf.sprintf "%.3f" (Rctree.Bounds.t_min ts v);
+          Printf.sprintf "%.3f" (Rctree.Bounds.t_max ts v);
+        ])
+    [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ];
+  Reprolib.Table.print delay;
+  print_newline ();
+  let volt = Reprolib.Table.create ~columns:[ "T"; "VMIN"; "VMAX" ] in
+  List.iter
+    (fun t ->
+      Reprolib.Table.add_row volt
+        [
+          Printf.sprintf "%g" t;
+          Printf.sprintf "%.5f" (Rctree.Bounds.v_min ts t);
+          Printf.sprintf "%.5f" (Rctree.Bounds.v_max ts t);
+        ])
+    [ 20.; 40.; 60.; 80.; 100.; 200.; 300.; 400.; 500.; 1000.; 2000. ];
+  Reprolib.Table.print volt;
+  0
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK" ~doc:"SPICE-like deck file.")
+
+let thresholds_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.1; 0.5; 0.9 ]
+    & info [ "v"; "thresholds" ] ~docv:"V,..." ~doc:"Threshold voltages (fractions of the swing).")
+
+let times_arg =
+  Arg.(
+    value
+    & opt (list float) []
+    & info [ "t"; "times" ] ~docv:"T,..." ~doc:"Sample times (seconds).")
+
+let threshold_arg =
+  Arg.(value & opt float 0.5 & info [ "v"; "threshold" ] ~docv:"V" ~doc:"Threshold voltage.")
+
+let deadline_arg =
+  Arg.(required & opt (some float) None & info [ "deadline" ] ~docv:"T" ~doc:"Deadline (seconds).")
+
+let t_end_arg =
+  Arg.(required & opt (some float) None & info [ "t-end" ] ~docv:"T" ~doc:"Simulation end time.")
+
+let samples_arg =
+  Arg.(value & opt int 101 & info [ "samples" ] ~docv:"N" ~doc:"Number of output samples.")
+
+let segments_arg =
+  Arg.(
+    value & opt int Circuit.Measure.default_segments
+    & info [ "segments" ] ~docv:"N" ~doc:"Lumped sections per distributed line.")
+
+let minterms_arg =
+  Arg.(
+    value
+    & opt (list int) [ 2; 4; 10; 20; 40; 100 ]
+    & info [ "minterms" ] ~docv:"N,..." ~doc:"Minterm counts to sweep.")
+
+let pla_threshold_arg =
+  Arg.(value & opt float 0.7 & info [ "v"; "threshold" ] ~docv:"V" ~doc:"Threshold voltage.")
+
+let cmd_times =
+  Cmd.v (Cmd.info "times" ~doc:"Characteristic times of every output")
+    Term.(const times_cmd $ file_arg)
+
+let cmd_bounds =
+  Cmd.v (Cmd.info "bounds" ~doc:"Delay bounds at thresholds")
+    Term.(const bounds_cmd $ file_arg $ thresholds_arg)
+
+let cmd_voltage =
+  Cmd.v (Cmd.info "voltage" ~doc:"Voltage bounds at sample times")
+    Term.(const voltage_cmd $ file_arg $ times_arg)
+
+let cmd_certify =
+  Cmd.v
+    (Cmd.info "certify" ~doc:"Check every output against a threshold and deadline (exit 1 unless all pass)")
+    Term.(const certify_cmd $ file_arg $ threshold_arg $ deadline_arg)
+
+let cmd_simulate =
+  Cmd.v (Cmd.info "simulate" ~doc:"Exact step response as CSV")
+    Term.(const simulate_cmd $ file_arg $ t_end_arg $ samples_arg $ segments_arg)
+
+let cmd_pla =
+  Cmd.v (Cmd.info "pla" ~doc:"PLA AND-plane delay sweep (paper Section V)")
+    Term.(const pla_cmd $ minterms_arg $ pla_threshold_arg)
+
+let cmd_fig10 =
+  Cmd.v (Cmd.info "fig10" ~doc:"Reproduce the paper's Fig. 10 session")
+    Term.(const fig10_cmd $ const ())
+
+let rise_arg =
+  Arg.(required & opt (some float) None & info [ "rise" ] ~docv:"T" ~doc:"Input rise time (seconds).")
+
+let order_arg =
+  Arg.(value & opt int 3 & info [ "order" ] ~docv:"N" ~doc:"Highest moment order to print.")
+
+let points_arg =
+  Arg.(value & opt int 9 & info [ "points" ] ~docv:"N" ~doc:"Frequency points in the Bode table.")
+
+let cmd_ramp =
+  Cmd.v
+    (Cmd.info "ramp" ~doc:"Crossing-time bounds under a ramp input (superposition extension)")
+    Term.(const ramp_cmd $ file_arg $ rise_arg $ threshold_arg)
+
+let cmd_moments =
+  Cmd.v
+    (Cmd.info "moments" ~doc:"Higher transfer-function moments and the fitted two-pole model")
+    Term.(const moments_cmd $ file_arg $ order_arg $ segments_arg)
+
+let cmd_ac =
+  Cmd.v (Cmd.info "ac" ~doc:"Frequency response: -3dB bandwidth and a Bode table")
+    Term.(const ac_cmd $ file_arg $ points_arg $ segments_arg)
+
+let period_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "period" ] ~docv:"T" ~doc:"Required time for slack/verdicts (seconds).")
+
+let elmore_flag =
+  Arg.(value & flag & info [ "elmore" ] ~doc:"Use Elmore point estimates instead of PR windows.")
+
+let hold_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "hold" ] ~docv:"T" ~doc:"Hold requirement checked against the early edges (seconds).")
+
+let cmd_sta =
+  Cmd.v
+    (Cmd.info "sta" ~doc:"Static timing analysis of a gate-level netlist file")
+    Term.(const sta_cmd $ file_arg $ period_arg $ hold_arg $ elmore_flag)
+
+let adder_cmd bits period =
+  if bits < 1 then begin
+    prerr_endline "adder: --bits must be >= 1";
+    1
+  end
+  else begin
+    let d = Sta.Generate.ripple_carry_adder ~bits () in
+    Printf.printf "%d-bit ripple-carry adder: %d nand2 instances, logic depth %d\n\n" bits
+      (List.length (Sta.Design.instances d))
+      (Sta.Generate.carry_chain_depth ~bits);
+    let r = Sta.Analysis.run_exn d in
+    print_string (Sta.Report.timing_report ?period r);
+    Printf.printf "minimum certified period: %s\n"
+      (Rctree.Units.format_quantity ~unit_symbol:"s" (Sta.Analysis.required_period r));
+    0
+  end
+
+let bits_arg =
+  Arg.(value & opt int 8 & info [ "bits" ] ~docv:"N" ~doc:"Adder width in bits.")
+
+let cmd_adder =
+  Cmd.v
+    (Cmd.info "adder" ~doc:"Generate and time a ripple-carry adder (STA demo at block scale)")
+    Term.(const adder_cmd $ bits_arg $ period_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "rcdelay" ~version:"1.0.0"
+       ~doc:"Penfield-Rubinstein signal delay bounds for RC tree networks")
+    [
+      cmd_times; cmd_bounds; cmd_voltage; cmd_certify; cmd_simulate; cmd_pla; cmd_fig10;
+      cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder;
+    ]
+
+let run argv = Cmd.eval' ~argv main

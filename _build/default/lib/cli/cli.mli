@@ -1,0 +1,9 @@
+(** The rcdelay command-line interface as a library, so the test suite
+    can drive every subcommand in-process.
+
+    [run argv] evaluates the command line (argv.(0) is the program
+    name) and returns the intended exit code: 0 on success, 1 when a
+    check fails or an input is unusable, 124/125 for cmdliner-level
+    errors. *)
+
+val run : string array -> int

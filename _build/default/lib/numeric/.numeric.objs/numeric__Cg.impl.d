@@ -1,0 +1,1 @@
+lib/numeric/cg.ml: Array Int Sparse Vector

@@ -1,0 +1,1 @@
+lib/numeric/cg.mli: Sparse Vector

@@ -1,0 +1,1 @@
+lib/numeric/eigen.ml: Array Float Matrix Vector

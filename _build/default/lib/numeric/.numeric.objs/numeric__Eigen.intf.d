@@ -1,0 +1,1 @@
+lib/numeric/eigen.mli: Matrix Vector

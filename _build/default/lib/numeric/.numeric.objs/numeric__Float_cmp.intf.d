@@ -1,0 +1,1 @@
+lib/numeric/float_cmp.mli:

@@ -1,0 +1,1 @@
+lib/numeric/interp.ml: Array Float Int

@@ -1,0 +1,1 @@
+lib/numeric/interp.mli: Vector

@@ -1,0 +1,1 @@
+lib/numeric/matrix.ml: Array Float Format Printf

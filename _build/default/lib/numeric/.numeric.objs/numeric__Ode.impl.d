@@ -1,0 +1,1 @@
+lib/numeric/ode.ml: List Lu Matrix Vector

@@ -1,0 +1,1 @@
+lib/numeric/ode.mli: Matrix Vector

@@ -1,0 +1,1 @@
+lib/numeric/polynomial.ml: Array Float Format Int List Roots

@@ -1,0 +1,1 @@
+lib/numeric/polynomial.mli: Format

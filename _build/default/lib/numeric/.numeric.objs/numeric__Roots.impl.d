@@ -1,0 +1,1 @@
+lib/numeric/roots.ml: Float

@@ -1,0 +1,1 @@
+lib/numeric/sparse.ml: Array Hashtbl List Matrix Option Printf

@@ -1,0 +1,50 @@
+type stats = { iterations : int; residual_norm : float }
+
+exception Not_converged of stats
+
+let solve ?(tol = 1e-12) ?max_iter ?diag_precondition ~mul b =
+  let n = Array.length b in
+  let max_iter = match max_iter with Some m -> m | None -> Int.max 50 (10 * n) in
+  let apply_precond =
+    match diag_precondition with
+    | None -> fun r -> Array.copy r
+    | Some d ->
+        Array.iter
+          (fun x ->
+            if x <= 0. then invalid_arg "Cg.solve: preconditioner entries must be positive")
+          d;
+        fun r -> Array.mapi (fun i ri -> ri /. d.(i)) r
+  in
+  let b_norm = Vector.norm2 b in
+  if b_norm = 0. then (Array.make n 0., { iterations = 0; residual_norm = 0. })
+  else begin
+    let x = Array.make n 0. in
+    let r = Array.copy b in
+    let z = apply_precond r in
+    let p = Array.copy z in
+    let rz = ref (Vector.dot r z) in
+    let iterations = ref 0 in
+    let residual = ref (Vector.norm2 r /. b_norm) in
+    while !residual > tol && !iterations < max_iter do
+      incr iterations;
+      let ap = mul p in
+      let alpha = !rz /. Vector.dot p ap in
+      Vector.axpy alpha p x;
+      Vector.axpy (-.alpha) ap r;
+      let z = apply_precond r in
+      let rz' = Vector.dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      for i = 0 to n - 1 do
+        p.(i) <- z.(i) +. (beta *. p.(i))
+      done;
+      residual := Vector.norm2 r /. b_norm
+    done;
+    let stats = { iterations = !iterations; residual_norm = !residual } in
+    if !residual > tol then raise (Not_converged stats);
+    (x, stats)
+  end
+
+let solve_sparse ?tol ?max_iter ?(precondition = true) a b =
+  let diag_precondition = if precondition then Some (Sparse.diagonal a) else None in
+  fst (solve ?tol ?max_iter ?diag_precondition ~mul:(Sparse.mul_vec a) b)

@@ -1,0 +1,16 @@
+let default_rtol = 1e-9
+let default_atol = 1e-12
+
+let approx_eq ?(rtol = default_rtol) ?(atol = default_atol) a b =
+  if a = b then true
+  else if (not (Float.is_finite a)) || not (Float.is_finite b) then false
+  else Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let approx_le ?(rtol = default_rtol) ?(atol = default_atol) a b =
+  a <= b || approx_eq ~rtol ~atol a b
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Float_cmp.clamp: lo > hi";
+  if x < lo then lo else if x > hi then hi else x
+
+let is_finite = Float.is_finite

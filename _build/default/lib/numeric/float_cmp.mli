@@ -1,0 +1,27 @@
+(** Tolerant floating-point comparison.
+
+    All numerical code in this project compares floats through this
+    module so that tolerances are chosen in one place.  The default
+    relative tolerance is [1e-9], suitable for double-precision results
+    of well-conditioned computations. *)
+
+val default_rtol : float
+(** Default relative tolerance, [1e-9]. *)
+
+val default_atol : float
+(** Default absolute tolerance, [1e-12]. *)
+
+val approx_eq : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx_eq a b] is true when [|a - b| <= atol + rtol * max |a| |b|].
+    Treats two NaNs as unequal; infinities are equal only when identical. *)
+
+val approx_le : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx_le a b] is [a <= b] up to tolerance: true when [a] is smaller
+    than [b] or approximately equal to it. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] limits [x] to the interval [\[lo, hi\]].
+    Raises [Invalid_argument] if [lo > hi]. *)
+
+val is_finite : float -> bool
+(** True when the argument is neither infinite nor NaN. *)

@@ -1,0 +1,90 @@
+type factor = {
+  lu : float array array; (* combined L (below diagonal) and U (on/above) *)
+  perm : int array; (* row permutation applied to the right-hand side *)
+  sign : float; (* parity of the permutation, for the determinant *)
+  n : int;
+}
+
+exception Singular of int
+
+let decompose a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.decompose: matrix not square";
+  let lu = Matrix.to_arrays a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* partial pivoting: largest absolute value in column k at/below row k *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.(i).(k) > Float.abs lu.(!pivot_row).(k) then pivot_row := i
+    done;
+    if Float.abs lu.(!pivot_row).(k) < 1e-300 then raise (Singular k);
+    if !pivot_row <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!pivot_row);
+      lu.(!pivot_row) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tp;
+      sign := -. !sign
+    end;
+    let pivot = lu.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let factor = lu.(i).(k) /. pivot in
+      lu.(i).(k) <- factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (factor *. lu.(k).(j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign; n }
+
+let solve_factored f b =
+  if Array.length b <> f.n then invalid_arg "Lu.solve_factored: dimension mismatch";
+  let x = Array.init f.n (fun i -> b.(f.perm.(i))) in
+  (* forward substitution with unit-diagonal L *)
+  for i = 1 to f.n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (f.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution with U *)
+  for i = f.n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to f.n - 1 do
+      acc := !acc -. (f.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc /. f.lu.(i).(i)
+  done;
+  x
+
+let solve a b = solve_factored (decompose a) b
+
+let solve_matrix a b =
+  let f = decompose a in
+  let n = Matrix.rows b and m = Matrix.cols b in
+  if n <> f.n then invalid_arg "Lu.solve_matrix: dimension mismatch";
+  let x = Matrix.create n m in
+  for j = 0 to m - 1 do
+    let xj = solve_factored f (Matrix.col b j) in
+    for i = 0 to n - 1 do
+      Matrix.set x i j xj.(i)
+    done
+  done;
+  x
+
+let inverse a = solve_matrix a (Matrix.identity (Matrix.rows a))
+
+let determinant a =
+  match decompose a with
+  | f ->
+      let d = ref f.sign in
+      for i = 0 to f.n - 1 do
+        d := !d *. f.lu.(i).(i)
+      done;
+      !d
+  | exception Singular _ -> 0.

@@ -1,0 +1,113 @@
+exception No_bracket
+
+let default_tol lo hi = 1e-12 *. Float.max 1. (Float.max (Float.abs lo) (Float.abs hi))
+
+let bisect ?tol ?(max_iter = 200) f ~lo ~hi =
+  if lo > hi then invalid_arg "Roots.bisect: lo > hi";
+  let tol = match tol with Some t -> t | None -> default_tol lo hi in
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then raise No_bracket
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fmid < 0. then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+(* Brent's method, following the classical Brent (1973) algorithm. *)
+let brent ?tol ?(max_iter = 200) f ~lo ~hi =
+  if lo > hi then invalid_arg "Roots.brent: lo > hi";
+  let tol = match tol with Some t -> t | None -> default_tol lo hi in
+  let a = ref lo and b = ref hi in
+  let fa = ref (f lo) and fb = ref (f hi) in
+  if !fa = 0. then !a
+  else if !fb = 0. then !b
+  else if !fa *. !fb > 0. then raise No_bracket
+  else begin
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref nan in
+    let iter = ref 0 in
+    while Float.is_nan !result && !iter < max_iter do
+      incr iter;
+      if Float.abs !fc < Float.abs !fb then begin
+        a := !b;
+        b := !c;
+        c := !a;
+        fa := !fb;
+        fb := !fc;
+        fc := !fa
+      end;
+      let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+      let xm = 0.5 *. (!c -. !b) in
+      if Float.abs xm <= tol1 || !fb = 0. then result := !b
+      else begin
+        if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+          (* attempt inverse quadratic interpolation / secant *)
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              let p = 2. *. xm *. s in
+              let q = 1. -. s in
+              (p, q)
+            else begin
+              let q = !fa /. !fc and r = !fb /. !fc in
+              let p = s *. ((2. *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.))) in
+              let q = (q -. 1.) *. (r -. 1.) *. (s -. 1.) in
+              (p, q)
+            end
+          in
+          let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+          if 2. *. p < Float.min ((3. *. xm *. q) -. Float.abs (tol1 *. q)) (Float.abs (!e *. q)) then begin
+            e := !d;
+            d := p /. q
+          end
+          else begin
+            d := xm;
+            e := xm
+          end
+        end
+        else begin
+          d := xm;
+          e := xm
+        end;
+        a := !b;
+        fa := !fb;
+        if Float.abs !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0. then tol1 else -.tol1);
+        fb := f !b;
+        if !fb *. !fc > 0. then begin
+          c := !a;
+          fc := !fa;
+          d := !b -. !a;
+          e := !d
+        end
+      end
+    done;
+    if Float.is_nan !result then !b else !result
+  end
+
+let expand_bracket ?(grow = 2.) ?(max_iter = 60) f ~lo ~hi =
+  if hi <= lo then invalid_arg "Roots.expand_bracket: hi <= lo";
+  let flo = f lo in
+  let rec loop hi width k =
+    if k > max_iter then raise No_bracket
+    else if flo *. f hi <= 0. then (lo, hi)
+    else loop (hi +. width) (width *. grow) (k + 1)
+  in
+  loop hi ((hi -. lo) *. grow) 0

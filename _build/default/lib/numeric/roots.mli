@@ -1,0 +1,24 @@
+(** Scalar root finding on an interval.
+
+    Used to invert monotone step responses: "at what time does the
+    output cross threshold v?". *)
+
+exception No_bracket
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+(** [bisect f ~lo ~hi] finds [x] in [\[lo, hi\]] with [f x = 0] by
+    bisection, assuming [f lo] and [f hi] have opposite signs (a zero
+    endpoint is returned directly).  [tol] is the absolute interval
+    width at which to stop (default [1e-12] times the interval scale).
+    Raises [No_bracket] when the signs agree. *)
+
+val brent : ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Brent's method: inverse-quadratic / secant steps guarded by
+    bisection.  Same contract as {!bisect}, converges much faster on
+    smooth functions. *)
+
+val expand_bracket : ?grow:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float * float
+(** [expand_bracket f ~lo ~hi] grows the interval upward (multiplying
+    the width by [grow], default 2) until [f] changes sign across it.
+    Raises [No_bracket] after [max_iter] (default 60) doublings. *)

@@ -1,0 +1,73 @@
+let require_nonempty name xs = if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty sample")
+
+let mean xs =
+  require_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  require_nonempty "min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  require_nonempty "max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let percentile xs p =
+  require_nonempty "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor rank) in
+    let frac = rank -. float_of_int i in
+    if i >= n - 1 then sorted.(n - 1) else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+  end
+
+let median xs = percentile xs 50.
+
+let geometric_mean xs =
+  require_nonempty "geometric_mean" xs;
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geometric_mean: non-positive sample";
+        acc +. log x)
+      0. xs
+  in
+  exp (acc /. float_of_int (Array.length xs))
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.linear_fit: length mismatch";
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two samples";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. in
+  for i = 0 to n - 1 do
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    sxx := !sxx +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  if !sxx = 0. then invalid_arg "Stats.linear_fit: degenerate xs";
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+let log_log_slope xs ys =
+  let safe_log name x =
+    if x <= 0. then invalid_arg ("Stats.log_log_slope: non-positive " ^ name);
+    log x
+  in
+  let lx = Array.map (safe_log "x") xs and ly = Array.map (safe_log "y") ys in
+  fst (linear_fit lx ly)

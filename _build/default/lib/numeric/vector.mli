@@ -1,0 +1,56 @@
+(** Dense floating-point vectors.
+
+    Thin, allocation-explicit wrappers over [float array].  Functions
+    never mutate their inputs unless the name says so ([add_in_place],
+    [scale_in_place], ...). *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a zero vector of dimension [n]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+(** Element-wise sum.  Raises [Invalid_argument] on dimension mismatch. *)
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val add_in_place : t -> t -> unit
+(** [add_in_place dst src] sets [dst.(i) <- dst.(i) +. src.(i)]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] sets [y <- a*x + y] in place. *)
+
+val scale_in_place : float -> t -> unit
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Maximum absolute entry; [0.] for the empty vector. *)
+
+val max_abs_diff : t -> t -> float
+(** [norm_inf (sub a b)] without the intermediate allocation. *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val sum : t -> float
+
+val pp : Format.formatter -> t -> unit

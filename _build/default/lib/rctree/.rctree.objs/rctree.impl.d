@@ -1,0 +1,1 @@
+lib/rctree/rctree.ml: Awe Bounds Convert Element Excitation Expr Higher_moments List Lump Moments Path Printf Sensitivity Times Transition Tree Twoport Units Validate

@@ -1,0 +1,1 @@
+lib/rctree/rctree.mli: Awe Bounds Convert Element Excitation Expr Higher_moments Lump Moments Path Sensitivity Times Transition Tree Twoport Units Validate

@@ -1,0 +1,1 @@
+lib/rctree/awe.ml: Array Float Format Higher_moments Moments Numeric Units

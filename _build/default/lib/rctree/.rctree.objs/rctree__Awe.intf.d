@@ -1,0 +1,1 @@
+lib/rctree/awe.mli: Format Tree

@@ -1,0 +1,1 @@
+lib/rctree/bounds.ml: Float Format Times

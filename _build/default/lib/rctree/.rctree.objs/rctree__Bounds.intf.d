@@ -1,0 +1,1 @@
+lib/rctree/bounds.mli: Format Times

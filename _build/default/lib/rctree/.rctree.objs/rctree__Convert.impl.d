@@ -1,0 +1,1 @@
+lib/rctree/convert.ml: Array Element Expr List Path Tree

@@ -1,0 +1,1 @@
+lib/rctree/convert.mli: Expr Tree

@@ -1,0 +1,1 @@
+lib/rctree/element.ml: Float Format Units

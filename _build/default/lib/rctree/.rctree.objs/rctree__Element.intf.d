@@ -1,0 +1,1 @@
+lib/rctree/element.mli: Format

@@ -1,0 +1,1 @@
+lib/rctree/excitation.ml: Array Bounds Float Int List Numeric Times

@@ -1,0 +1,1 @@
+lib/rctree/excitation.mli: Times

@@ -1,0 +1,1 @@
+lib/rctree/expr.ml: Element Format List Twoport

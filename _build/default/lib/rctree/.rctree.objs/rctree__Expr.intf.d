@@ -1,0 +1,1 @@
+lib/rctree/expr.mli: Element Format Times Twoport

@@ -1,0 +1,1 @@
+lib/rctree/higher_moments.ml: Array Element Float Format Numeric Tree Units

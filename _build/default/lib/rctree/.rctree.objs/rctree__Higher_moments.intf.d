@@ -1,0 +1,1 @@
+lib/rctree/higher_moments.mli: Format Tree

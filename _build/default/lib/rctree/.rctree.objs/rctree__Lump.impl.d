@@ -1,0 +1,1 @@
+lib/rctree/lump.ml: Array Element List Printf Tree

@@ -1,0 +1,1 @@
+lib/rctree/lump.mli: Tree

@@ -1,0 +1,1 @@
+lib/rctree/moments.ml: Array Element List Path Times Tree

@@ -1,0 +1,1 @@
+lib/rctree/moments.mli: Times Tree

@@ -1,0 +1,1 @@
+lib/rctree/path.ml: Array Element List Tree

@@ -1,0 +1,1 @@
+lib/rctree/path.mli: Tree

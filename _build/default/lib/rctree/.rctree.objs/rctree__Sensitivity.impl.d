@@ -1,0 +1,1 @@
+lib/rctree/sensitivity.ml: Array Path Tree

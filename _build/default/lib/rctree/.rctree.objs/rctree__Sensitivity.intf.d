@@ -1,0 +1,1 @@
+lib/rctree/sensitivity.mli: Tree

@@ -1,0 +1,1 @@
+lib/rctree/times.ml: Float Format Numeric Units

@@ -1,0 +1,1 @@
+lib/rctree/times.mli: Format

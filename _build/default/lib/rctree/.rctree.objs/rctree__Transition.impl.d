@@ -1,0 +1,1 @@
+lib/rctree/transition.ml: Bounds Float

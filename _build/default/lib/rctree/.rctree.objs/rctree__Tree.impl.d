@@ -1,0 +1,1 @@
+lib/rctree/tree.ml: Array Element Float Format List Printf Units

@@ -1,0 +1,1 @@
+lib/rctree/tree.mli: Element Format

@@ -1,0 +1,1 @@
+lib/rctree/twoport.ml: Element Format Numeric Times Units

@@ -1,0 +1,1 @@
+lib/rctree/twoport.mli: Element Format Times

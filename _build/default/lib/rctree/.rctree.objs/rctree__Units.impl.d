@@ -1,0 +1,1 @@
+lib/rctree/units.ml: Float Option Printf String

@@ -1,0 +1,1 @@
+lib/rctree/validate.ml: Element Format List Path Printf String Tree

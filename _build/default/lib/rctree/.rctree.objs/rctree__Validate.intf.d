@@ -1,0 +1,1 @@
+lib/rctree/validate.mli: Format Tree

@@ -1,0 +1,87 @@
+type verdict = Pass | Fail | Unknown
+
+let check_time name t = if t < 0. || Float.is_nan t then invalid_arg ("Bounds." ^ name ^ ": time must be non-negative")
+
+let check_threshold name v =
+  if not (v >= 0. && v < 1.) then invalid_arg ("Bounds." ^ name ^ ": threshold must satisfy 0 <= v < 1")
+
+(* exp(-t/tau) with the tau = 0 limit: 1 at t = 0, 0 afterwards *)
+let decay ~tau t = if t = 0. then 1. else if tau = 0. then 0. else exp (-.t /. tau)
+
+let v_max_raw (ts : Times.t) t =
+  check_time "v_max" t;
+  if Times.is_degenerate ts then 1.
+  else begin
+    let { Times.t_p; t_d; t_r } = ts in
+    let linear = (t +. t_p -. t_d) /. t_p (* eq. 8 *) in
+    let exponential = 1. -. (t_d /. t_p *. decay ~tau:t_r t) (* eq. 9 *) in
+    Float.min linear exponential
+  end
+
+let v_min (ts : Times.t) t =
+  check_time "v_min" t;
+  if Times.is_degenerate ts then 1.
+  else begin
+    let { Times.t_p; t_d; t_r } = ts in
+    let hyperbolic = 1. -. (t_d /. (t +. t_r)) (* eq. 11 *) in
+    let exponential =
+      (* eq. 12, valid only for t >= T_P - T_R *)
+      if t >= t_p -. t_r then 1. -. (t_d /. t_p *. exp (-.(t -. t_p +. t_r) /. t_p))
+      else 0.
+    in
+    Float.max 0. (Float.max hyperbolic exponential)
+  end
+
+let elmore_v_min (ts : Times.t) t =
+  check_time "elmore_v_min" t;
+  if Times.is_degenerate ts then 1.
+  else if t <= 0. then 0.
+  else Float.max 0. (1. -. (ts.Times.t_d /. t))
+
+(* on networks where the bounds coincide (single pole), the upper and
+   lower formulas compute the same value through different expressions
+   and can invert by a rounding ulp; clamp so that intervals are always
+   well-formed *)
+let v_max ts t = Float.max (v_max_raw ts t) (v_min ts t)
+
+let t_min (ts : Times.t) v =
+  check_threshold "t_min" v;
+  if Times.is_degenerate ts then 0.
+  else begin
+    let { Times.t_p; t_d; t_r } = ts in
+    let linear = t_d -. (t_p *. (1. -. v)) (* eq. 14 *) in
+    let logarithmic = t_r *. log (t_d /. (t_p *. (1. -. v))) (* eq. 15 *) in
+    Float.max 0. (Float.max linear logarithmic)
+  end
+
+let t_max_raw (ts : Times.t) v =
+  check_threshold "t_max" v;
+  if Times.is_degenerate ts then 0.
+  else begin
+    let { Times.t_p; t_d; t_r } = ts in
+    let hyperbolic = (t_d /. (1. -. v)) -. t_r (* eq. 16 *) in
+    let logarithmic =
+      (* eq. 17; for thresholds below 1 - T_D/T_P the log term is
+         non-positive and the bound reduces to T_P - T_R *)
+      t_p -. t_r +. Float.max 0. (t_p *. log (t_d /. (t_p *. (1. -. v))))
+    in
+    Float.min hyperbolic logarithmic
+  end
+
+let t_max ts v = Float.max (t_max_raw ts v) (t_min ts v)
+
+let certify ts ~threshold ~deadline =
+  check_threshold "certify" threshold;
+  check_time "certify" deadline;
+  if t_max ts threshold <= deadline then Pass
+  else if deadline < t_min ts threshold then Fail
+  else Unknown
+
+let verdict_to_string = function Pass -> "pass" | Fail -> "fail" | Unknown -> "unknown"
+
+let equal_verdict a b =
+  match (a, b) with
+  | Pass, Pass | Fail, Fail | Unknown, Unknown -> true
+  | (Pass | Fail | Unknown), _ -> false
+
+let pp_verdict fmt v = Format.pp_print_string fmt (verdict_to_string v)

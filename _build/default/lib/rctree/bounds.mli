@@ -1,0 +1,69 @@
+(** The Penfield–Rubinstein delay bounds — eqs. (8)–(17).
+
+    Everything here is a pure function of the three characteristic
+    times {!Times.t} of an output.  Voltages are normalized to the
+    final value (the unit step response rises from 0 to 1); times are
+    in the same unit as the characteristic times.
+
+    Voltage bounds (unit step response [v(t)]):
+
+    {v
+      v_max(t) = min( (t + T_P - T_D)/T_P ,              (8)
+                      1 - (T_D/T_P) exp(-t/T_R) )        (9)
+      v_min(t) = max( 0 ,                                 (10)
+                      1 - T_D/(t + T_R) ,                 (11)
+                      [t >= T_P - T_R]
+                        1 - (T_D/T_P) exp(-(t-T_P+T_R)/T_P) ) (12)
+    v}
+
+    Time bounds (first crossing of threshold [v]):
+
+    {v
+      t_min(v) = max( 0 ,                                 (13)
+                      T_D - T_P (1 - v) ,                 (14)
+                      T_R ln( T_D / (T_P (1-v)) ) )       (15)
+      t_max(v) = min( T_D/(1-v) - T_R ,                   (16)
+                      T_P - T_R + max(0, T_P ln(T_D/(T_P (1-v)))) ) (17)
+    v}
+
+    Degenerate networks ([T_D = 0], i.e. no resistance before any
+    capacitance, or no capacitance at all) respond instantaneously:
+    all voltage bounds are 1 for [t >= 0] and both delay bounds are 0. *)
+
+val v_min : Times.t -> float -> float
+(** Lower bound on the step response at time [t].
+    Raises [Invalid_argument] for [t < 0]. *)
+
+val v_max : Times.t -> float -> float
+(** Upper bound on the step response at time [t]; always [<= 1] and
+    [>= v_min].  Raises [Invalid_argument] for [t < 0]. *)
+
+val t_min : Times.t -> float -> float
+(** Lower bound on the time at which the response reaches threshold
+    [v].  Raises [Invalid_argument] unless [0 <= v < 1]. *)
+
+val t_max : Times.t -> float -> float
+(** Upper bound on the threshold-crossing time; same domain as
+    {!t_min}.  Guaranteed [>= t_min] even on networks where the two
+    bounds coincide analytically (rounding is clamped). *)
+
+val elmore_v_min : Times.t -> float -> float
+(** The simpler bound of eq. (4), [v >= 1 - T_D/t] — kept separate to
+    show how much eqs. (10)–(12) tighten it. *)
+
+type verdict =
+  | Pass  (** the output certainly reaches the threshold by the deadline *)
+  | Fail  (** it certainly does not *)
+  | Unknown  (** the bounds are not tight enough to tell *)
+
+val certify : Times.t -> threshold:float -> deadline:float -> verdict
+(** The paper's [OK] function: [Pass] when [t_max <= deadline],
+    [Fail] when [deadline < t_min], [Unknown] otherwise.
+    Raises [Invalid_argument] unless [0 <= threshold < 1] and
+    [deadline >= 0]. *)
+
+val verdict_to_string : verdict -> string
+
+val equal_verdict : verdict -> verdict -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

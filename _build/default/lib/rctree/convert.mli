@@ -1,0 +1,19 @@
+(** Conversions between the algebraic notation ({!Expr}) and explicit
+    trees ({!Tree}).
+
+    [tree_of_expr] lets the O(n²) direct method and the circuit
+    simulator run on networks written in the paper's notation;
+    [expr_of_tree] recovers an expression for any single chosen output,
+    which is how property tests confirm that the linear-time algebra and
+    the direct method agree on arbitrary trees. *)
+
+val tree_of_expr : ?name:string -> Expr.t -> Tree.t
+(** The expression's port 2 becomes the single marked output, labelled
+    ["out"].  [Urc] leaves with both R and C non-zero become distributed
+    line edges; pure capacitors fold into the current node. *)
+
+val expr_of_tree : Tree.t -> output:Tree.node_id -> Expr.t
+(** An expression whose port 2 is the given node: the input→output path
+    becomes the cascade spine; node capacitances become [URC 0 C]
+    leaves; subtrees hanging off the spine become [WB] side branches.
+    Raises [Invalid_argument] on an unknown node. *)

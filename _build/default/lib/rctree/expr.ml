@@ -1,0 +1,56 @@
+type t =
+  | Urc of { resistance : float; capacitance : float }
+  | Branch of t
+  | Cascade of t * t
+
+let urc resistance capacitance =
+  if resistance < 0. || capacitance < 0. then invalid_arg "Expr.urc: negative value";
+  Urc { resistance; capacitance }
+
+let resistor r = urc r 0.
+let capacitor c = urc 0. c
+let wb e = Branch e
+let wc a b = Cascade (a, b)
+let ( @> ) = wc
+
+let cascade_all = function
+  | [] -> invalid_arg "Expr.cascade_all: empty list"
+  | e :: rest -> List.fold_left wc e rest
+
+let rec eval = function
+  | Urc { resistance; capacitance } -> Twoport.urc ~resistance ~capacitance
+  | Branch e -> Twoport.branch (eval e)
+  | Cascade (a, b) -> Twoport.cascade (eval a) (eval b)
+
+let times e = Twoport.times (eval e)
+
+let rec size = function
+  | Urc _ -> 1
+  | Branch e -> size e
+  | Cascade (a, b) -> size a + size b
+
+let element_of_leaf ~resistance ~capacitance = Element.line ~resistance ~capacitance
+
+let fig7 =
+  let branch = wb (urc 8. 0. @> urc 0. 7.) in
+  urc 15. 0. @> urc 0. 2. @> branch @> urc 3. 4. @> urc 0. 9.
+
+(* Fig. 12: one section A models two minterms; Z starts as the driver *)
+let pla_line n =
+  if n < 0 then invalid_arg "Expr.pla_line: negative minterm count";
+  let section = urc 180. 0.0107 @> urc 30. 0.0134 in
+  let driver = urc 378. 0. @> urc 0. 0.04 in
+  let rec attach z remaining = if remaining <= 0 then z else attach (z @> section) (remaining - 2) in
+  attach driver n
+
+let rec pp fmt = function
+  | Urc { resistance; capacitance } -> Format.fprintf fmt "(URC %g %g)" resistance capacitance
+  | Branch e -> Format.fprintf fmt "(WB %a)" pp e
+  | Cascade (a, b) -> Format.fprintf fmt "%a WC %a" pp_cascade_side a pp_cascade_side b
+
+and pp_cascade_side fmt e =
+  match e with
+  | Cascade _ -> Format.fprintf fmt "%a" pp e
+  | Urc _ | Branch _ -> pp fmt e
+
+let to_string e = Format.asprintf "%a" pp e

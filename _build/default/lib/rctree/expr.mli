@@ -1,0 +1,68 @@
+(** Algebraic tree expressions — the notation of eq. (18).
+
+    Any RC tree with a single distinguished output can be denoted by an
+    expression over the primitive [URC R C] and the two wiring functions
+    [WB] and [WC] (Fig. 6).  The paper's example network of Fig. 7 is
+
+    {v (URC 15 0) WC (URC 0 2) WC (WB ((URC 8 0) WC (URC 0 7)))
+       WC (URC 3 4) WC (URC 0 9) v}
+
+    Evaluating an expression with {!eval} costs time linear in its size
+    (Section IV's fast algorithm); [Convert.tree_of_expr] produces the
+    equivalent explicit tree for the O(n²) direct method and for
+    simulation. *)
+
+type t =
+  | Urc of { resistance : float; capacitance : float }
+      (** the primitive uniform line; [Urc {r; 0}] is a resistor,
+          [Urc {0; c}] a capacitor *)
+  | Branch of t  (** [WB e]: seal [e] into a side branch *)
+  | Cascade of t * t  (** [a WC b]: append [b] at [a]'s output port *)
+
+val urc : float -> float -> t
+(** [urc r c] — argument order follows the paper's [URC R C].
+    Raises [Invalid_argument] on negative values. *)
+
+val resistor : float -> t
+
+val capacitor : float -> t
+
+val wb : t -> t
+
+val wc : t -> t -> t
+
+val ( @> ) : t -> t -> t
+(** Infix {!wc}: [a @> b] cascades left to right, input side first. *)
+
+val cascade_all : t list -> t
+(** [cascade_all [e1; ...; en]] is [e1 WC ... WC en].
+    Raises [Invalid_argument] on the empty list. *)
+
+val eval : t -> Twoport.t
+(** Linear-time evaluation via the {!Twoport} algebra. *)
+
+val times : t -> Times.t
+(** Characteristic times of the expression's output port. *)
+
+val size : t -> int
+(** Number of [Urc] leaves. *)
+
+val element_of_leaf : resistance:float -> capacitance:float -> Element.t
+
+val fig7 : t
+(** The paper's example network (Fig. 7 / eq. 18): values in ohms and
+    farads, so times come out in seconds matching the Fig. 10 numbers. *)
+
+val pla_line : int -> t
+(** The PLA AND-plane line model of Fig. 12: superbuffer driver
+    ([URC 378 0] … the paper's listing uses 378 Ω even though the text
+    says 380) followed by ⌈n/2⌉ two-minterm sections
+    [(URC 180 0.0107) WC (URC 30 0.0134)].  Resistances in ohms,
+    capacitances in picofarads, hence delays in picoseconds·…, i.e.
+    the paper's ns scale after the pF choice.  Raises
+    [Invalid_argument] when [n < 0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's notation, e.g. [(URC 15 0) WC (URC 0 2)]. *)
+
+val to_string : t -> string

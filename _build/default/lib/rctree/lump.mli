@@ -1,0 +1,24 @@
+(** Discretization of distributed RC lines into lumped sections.
+
+    The characteristic-time computations handle distributed lines in
+    closed form, but the circuit simulator needs a finite state space.
+    [discretize] replaces every {!Element.Line} edge by a ladder of
+    lumped resistors and capacitors.  As the section count grows, the
+    characteristic times of the lumped tree converge to the distributed
+    ones (tested in [test_lump.ml]); π-sections converge from the same
+    side with half the error of L-sections. *)
+
+type scheme =
+  | L_sections  (** each section: series R/n, then C/n at the new node *)
+  | Pi_sections
+      (** each section: C/2n at the near node, series R/n, C/2n at the
+          far node — the SPICE "URC" style *)
+
+val discretize : ?scheme:scheme -> segments:int -> Tree.t -> Tree.t
+(** [discretize ~segments t] preserves node names, capacitances and
+    output marks; interior nodes of expanded lines are named
+    ["<node>.seg<i>"].  Trees without lines are rebuilt unchanged.
+    Raises [Invalid_argument] when [segments < 1]. *)
+
+val is_lumped : Tree.t -> bool
+(** True when the tree has no distributed lines left. *)

@@ -1,0 +1,51 @@
+(** Penfield–Rubinstein delay bounds for RC tree networks.
+
+    This is the public face of the library; see the individual modules
+    for the details of each stage:
+
+    - {!Element}, {!Tree}: network representation
+    - {!Expr}, {!Twoport}: the paper's linear-time construction algebra
+    - {!Path}, {!Moments}, {!Times}: characteristic times
+    - {!Bounds}: the delay/voltage bounds and certification
+    - {!Lump}, {!Convert}, {!Validate}, {!Units}: supporting tools
+
+    The convenience functions below cover the common "one network, one
+    output, one question" case. *)
+
+module Element = Element
+module Times = Times
+module Twoport = Twoport
+module Expr = Expr
+module Tree = Tree
+module Path = Path
+module Moments = Moments
+module Bounds = Bounds
+module Transition = Transition
+module Excitation = Excitation
+module Higher_moments = Higher_moments
+module Sensitivity = Sensitivity
+module Awe = Awe
+module Convert = Convert
+module Lump = Lump
+module Validate = Validate
+module Units = Units
+
+let analyze tree ~output = Moments.times tree ~output
+
+let analyze_named tree ~output =
+  match List.assoc_opt output (Tree.outputs tree) with
+  | Some id -> Moments.times tree ~output:id
+  | None -> invalid_arg (Printf.sprintf "Rctree.analyze_named: no output labelled %S" output)
+
+let delay_bounds tree ~output ~threshold =
+  let ts = analyze tree ~output in
+  (Bounds.t_min ts threshold, Bounds.t_max ts threshold)
+
+let voltage_bounds tree ~output ~time =
+  let ts = analyze tree ~output in
+  (Bounds.v_min ts time, Bounds.v_max ts time)
+
+let certify tree ~output ~threshold ~deadline =
+  Bounds.certify (analyze tree ~output) ~threshold ~deadline
+
+let elmore_delay tree ~output = Moments.elmore tree ~output

@@ -1,0 +1,34 @@
+type t = { t_p : float; t_d : float; t_r : float }
+
+(* eq. (7) tolerance: the three sums are computed from the same data, so
+   only rounding-level violations are acceptable *)
+let ordering_rtol = 1e-9
+
+let check ?(rtol = ordering_rtol) { t_p; t_d; t_r } =
+  Numeric.Float_cmp.approx_le ~rtol t_r t_d && Numeric.Float_cmp.approx_le ~rtol t_d t_p
+
+let make ~t_p ~t_d ~t_r =
+  let finite_nonneg x = Float.is_finite x && x >= 0. in
+  if not (finite_nonneg t_p && finite_nonneg t_d && finite_nonneg t_r) then
+    invalid_arg "Times.make: values must be finite and non-negative";
+  let t = { t_p; t_d; t_r } in
+  if not (check t) then
+    invalid_arg
+      (Format.asprintf "Times.make: ordering T_Re <= T_De <= T_P violated (%g, %g, %g)" t_r t_d t_p);
+  t
+
+let single_line ~resistance ~capacitance =
+  if resistance < 0. || capacitance < 0. then invalid_arg "Times.single_line: negative value";
+  let rc = resistance *. capacitance in
+  { t_p = rc /. 2.; t_d = rc /. 2.; t_r = rc /. 3. }
+
+let is_degenerate t = t.t_d = 0.
+
+let equal ?(rtol = 1e-9) a b =
+  Numeric.Float_cmp.approx_eq ~rtol a.t_p b.t_p
+  && Numeric.Float_cmp.approx_eq ~rtol a.t_d b.t_d
+  && Numeric.Float_cmp.approx_eq ~rtol a.t_r b.t_r
+
+let pp fmt { t_p; t_d; t_r } =
+  Format.fprintf fmt "{T_P=%s; T_D=%s; T_R=%s}" (Units.format_si t_p) (Units.format_si t_d)
+    (Units.format_si t_r)

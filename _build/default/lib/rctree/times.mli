@@ -1,0 +1,38 @@
+(** The three characteristic times of an RC-tree output.
+
+    For an output node [e] of an RC tree with capacitances [C_k] and
+    shared path resistances [R_ke] (eq. 1, 5, 6 of the paper):
+
+    - [t_p  = Σ_k R_kk C_k] — the same for every output;
+    - [t_d  = Σ_k R_ke C_k] — the Elmore delay of output [e];
+    - [t_r  = (Σ_k R_ke² C_k) / R_ee].
+
+    The paper's eq. (7) guarantees [t_r <= t_d <= t_p]; {!check} asserts
+    it.  These three numbers are the entire interface between a network
+    and the delay bounds of {!Bounds}. *)
+
+type t = {
+  t_p : float;  (** [T_P], seconds *)
+  t_d : float;  (** [T_De], seconds — the Elmore delay *)
+  t_r : float;  (** [T_Re], seconds *)
+}
+
+val make : t_p:float -> t_d:float -> t_r:float -> t
+(** Raises [Invalid_argument] when any value is negative, non-finite, or
+    the ordering [t_r <= t_d <= t_p] is violated beyond rounding
+    tolerance. *)
+
+val check : ?rtol:float -> t -> bool
+(** True when eq. (7) holds up to relative tolerance. *)
+
+val single_line : resistance:float -> capacitance:float -> t
+(** Characteristic times of one uniform RC line observed at its far end:
+    [t_p = t_d = RC/2], [t_r = RC/3] (Section III of the paper). *)
+
+val is_degenerate : t -> bool
+(** True when [t_d = 0] — the output responds instantaneously (network
+    with no resistance on any charging path, or no capacitance). *)
+
+val equal : ?rtol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type polarity = Rising | Falling
+
+let voltage_bounds ts polarity t =
+  match polarity with
+  | Rising -> (Bounds.v_min ts t, Bounds.v_max ts t)
+  | Falling ->
+      (* v_fall = 1 - v_rise, so the bounds swap and reflect *)
+      (1. -. Bounds.v_max ts t, 1. -. Bounds.v_min ts t)
+
+let delay_bounds ts polarity ~threshold =
+  match polarity with
+  | Rising -> (Bounds.t_min ts threshold, Bounds.t_max ts threshold)
+  | Falling ->
+      if not (threshold > 0. && threshold <= 1.) then
+        invalid_arg "Transition.delay_bounds: falling threshold must satisfy 0 < v <= 1";
+      let mirrored = 1. -. threshold in
+      (Bounds.t_min ts mirrored, Bounds.t_max ts mirrored)
+
+let slew_bounds ts polarity ~low ~high =
+  if not (low >= 0. && low < high && high < 1.) then
+    invalid_arg "Transition.slew_bounds: need 0 <= low < high < 1";
+  let t_min_low, t_max_low, t_min_high, t_max_high =
+    match polarity with
+    | Rising -> (Bounds.t_min ts low, Bounds.t_max ts low, Bounds.t_min ts high, Bounds.t_max ts high)
+    | Falling ->
+        (* the falling edge leaves [high] first and arrives at [low] *)
+        ( Bounds.t_min ts (1. -. high),
+          Bounds.t_max ts (1. -. high),
+          Bounds.t_min ts (1. -. low),
+          Bounds.t_max ts (1. -. low) )
+  in
+  let fastest = Float.max 0. (t_min_high -. t_max_low) in
+  let slowest = t_max_high -. t_min_low in
+  (fastest, slowest)
+
+let certify ts polarity ~threshold ~deadline =
+  match polarity with
+  | Rising -> Bounds.certify ts ~threshold ~deadline
+  | Falling ->
+      if not (threshold > 0. && threshold <= 1.) then
+        invalid_arg "Transition.certify: falling threshold must satisfy 0 < v <= 1";
+      Bounds.certify ts ~threshold:(1. -. threshold) ~deadline

@@ -1,0 +1,34 @@
+(** Falling edges and slew windows.
+
+    The paper analyzes the rising (charging) transition; discharge
+    through the same tree is its mirror image — [v_fall(t) =
+    1 - v_rise(t)] — so every bound carries over with the threshold
+    reflected.  This module packages that symmetry, plus the
+    transition-time (slew) windows both polarities share.
+
+    Thresholds are always expressed on the {e actual} waveform: asking
+    when a falling output passes 0.3 means "drops to 30% of the swing",
+    which maps to the rising response crossing 0.7. *)
+
+type polarity = Rising | Falling
+
+val voltage_bounds : Times.t -> polarity -> float -> float * float
+(** [(v_min, v_max)] of the output at a time, for the given edge.
+    Raises [Invalid_argument] for negative time. *)
+
+val delay_bounds : Times.t -> polarity -> threshold:float -> float * float
+(** Window for the output to reach the threshold: a rising output
+    reaches it from below, a falling one from above.
+    Raises [Invalid_argument] unless [0 < threshold < 1] for falling
+    edges ([0 <= v < 1] for rising, as in {!Bounds}). *)
+
+val slew_bounds : Times.t -> polarity -> low:float -> high:float -> float * float
+(** [(fastest, slowest)] transition time between the two thresholds
+    (e.g. 10%–90%).  The fastest edge is [max 0 (t_min high - t_max
+    low)] — the bounds cannot always prove the transition takes any
+    time at all — and the slowest is [t_max high - t_min low].
+    Raises [Invalid_argument] unless [0 <= low < high < 1]. *)
+
+val certify :
+  Times.t -> polarity -> threshold:float -> deadline:float -> Bounds.verdict
+(** The OK check for either edge. *)

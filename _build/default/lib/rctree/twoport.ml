@@ -1,0 +1,46 @@
+type t = { c_total : float; t_p : float; r22 : float; t_d2 : float; t_r2_r22 : float }
+
+let empty = { c_total = 0.; t_p = 0.; r22 = 0.; t_d2 = 0.; t_r2_r22 = 0. }
+
+let urc ~resistance ~capacitance =
+  if resistance < 0. || capacitance < 0. then invalid_arg "Twoport.urc: negative value";
+  {
+    c_total = capacitance;
+    t_p = resistance *. capacitance /. 2.;
+    r22 = resistance;
+    t_d2 = resistance *. capacitance /. 2.;
+    t_r2_r22 = resistance *. resistance *. capacitance /. 3.;
+  }
+
+let of_element = function
+  | Element.Resistor r -> urc ~resistance:r ~capacitance:0.
+  | Element.Capacitor c -> urc ~resistance:0. ~capacitance:c
+  | Element.Line { resistance; capacitance } -> urc ~resistance ~capacitance
+
+(* eqs. (24)-(28) *)
+let branch a = { c_total = a.c_total; t_p = a.t_p; r22 = 0.; t_d2 = 0.; t_r2_r22 = 0. }
+
+(* eqs. (19)-(23): a is nearer the input, b is appended at a's port 2 *)
+let cascade a b =
+  {
+    c_total = a.c_total +. b.c_total;
+    t_p = a.t_p +. b.t_p +. (a.r22 *. b.c_total);
+    r22 = a.r22 +. b.r22;
+    t_d2 = a.t_d2 +. b.t_d2 +. (a.r22 *. b.c_total);
+    t_r2_r22 =
+      a.t_r2_r22 +. b.t_r2_r22 +. (2. *. a.r22 *. b.t_d2) +. (a.r22 *. a.r22 *. b.c_total);
+  }
+
+let t_r2 a = if a.r22 = 0. then 0. else a.t_r2_r22 /. a.r22
+
+let times a = Times.make ~t_p:a.t_p ~t_d:a.t_d2 ~t_r:(t_r2 a)
+
+let equal ?(rtol = 1e-9) a b =
+  let eq = Numeric.Float_cmp.approx_eq ~rtol in
+  eq a.c_total b.c_total && eq a.t_p b.t_p && eq a.r22 b.r22 && eq a.t_d2 b.t_d2
+  && eq a.t_r2_r22 b.t_r2_r22
+
+let pp fmt a =
+  Format.fprintf fmt "{C_T=%s; T_P=%s; R22=%s; T_D2=%s; T_R2*R22=%s}" (Units.format_si a.c_total)
+    (Units.format_si a.t_p) (Units.format_si a.r22) (Units.format_si a.t_d2)
+    (Units.format_si a.t_r2_r22)

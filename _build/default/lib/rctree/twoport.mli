@@ -1,0 +1,49 @@
+(** The paper's linear-time construction algebra (Section IV).
+
+    A partially constructed RC tree is summarized by five numbers
+    (the APL vector of Fig. 8): total capacitance [C_T], the network
+    time constant [T_P], and — taking port 2 (the growing end) as the
+    output — [R_22], [T_D2] and the product [T_R2·R_22].  The wiring
+    functions [WB] (fold a finished subtree into a side branch) and
+    [WC] (cascade) update this summary in O(1) using eqs. (19)–(28), so
+    the characteristic times of any tree expression are computed in time
+    linear in the number of elements. *)
+
+type t = {
+  c_total : float;  (** [C_T]: total capacitance of the subnetwork *)
+  t_p : float;  (** [T_P] of the subnetwork *)
+  r22 : float;  (** [R_22]: input-to-port-2 resistance *)
+  t_d2 : float;  (** [T_D2]: Elmore delay at port 2 *)
+  t_r2_r22 : float;  (** [T_R2 · R_22 = Σ_k R_k2² C_k] *)
+}
+
+val empty : t
+(** The network with nothing in it — the identity of {!cascade}. *)
+
+val urc : resistance:float -> capacitance:float -> t
+(** [URC R C] primitive: a uniform RC line ([C_T = C], [T_P = T_D2 =
+    RC/2], [R_22 = R], [T_R2 = RC/3]); degenerate forms give the lumped
+    resistor and capacitor.  Raises [Invalid_argument] on negative
+    values. *)
+
+val of_element : Element.t -> t
+
+val branch : t -> t
+(** [WB a] (eqs. 24–28): seal [a] as a side branch — its capacitance
+    and [T_P] survive, its port-2 quantities reset to zero. *)
+
+val cascade : t -> t -> t
+(** [cascade a b] is [a WC b] (eqs. 19–23): attach [b]'s port 1 to [a]'s
+    port 2; the new port 2 is [b]'s.  [a] is the side nearer the
+    input. *)
+
+val times : t -> Times.t
+(** Characteristic times at port 2: [t_p], [t_d = T_D2] and
+    [t_r = t_r2_r22 / r22] (0 when [r22 = 0]). *)
+
+val t_r2 : t -> float
+(** [T_R2], i.e. [t_r2_r22 / r22]; [0.] when [r22 = 0]. *)
+
+val equal : ?rtol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

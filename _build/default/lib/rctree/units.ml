@@ -1,0 +1,93 @@
+let prefixes =
+  [
+    (1e-15, "f"); (1e-12, "p"); (1e-9, "n"); (1e-6, "u"); (1e-3, "m");
+    (1., ""); (1e3, "k"); (1e6, "M"); (1e9, "G"); (1e12, "T");
+  ]
+
+let format_si ?(digits = 4) x =
+  if x = 0. then "0"
+  else if not (Float.is_finite x) then Printf.sprintf "%f" x
+  else begin
+    let mag = Float.abs x in
+    let scale, prefix =
+      let rec pick = function
+        | [] -> (1., "")
+        | [ (s, p) ] -> (s, p)
+        | (s, p) :: rest ->
+            (* choose the largest prefix not exceeding the magnitude,
+               so that the mantissa lands in [1, 1000) *)
+            if mag < s *. 1000. then (s, p) else pick rest
+      in
+      if mag < 1e-15 then (1., "") else pick prefixes
+    in
+    let mantissa = x /. scale in
+    let s = Printf.sprintf "%.*g" digits mantissa in
+    s ^ prefix
+  end
+
+let format_quantity ?digits ~unit_symbol x = format_si ?digits x ^ unit_symbol
+
+let suffix_scale s =
+  match String.lowercase_ascii s with
+  | "" -> Some 1.
+  | "f" -> Some 1e-15
+  | "p" -> Some 1e-12
+  | "n" -> Some 1e-9
+  | "u" -> Some 1e-6
+  | "m" -> Some 1e-3
+  | "k" -> Some 1e3
+  | "meg" -> Some 1e6
+  | "g" -> Some 1e9
+  | "t" -> Some 1e12
+  | _ -> None
+
+(* uppercase "M" is SI mega; lowercase "m" stays SPICE milli *)
+let parse_si s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    (* split leading numeric part from trailing letters *)
+    let is_num_char c =
+      match c with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false
+    in
+    (* careful: 'e'/'E' only counts as numeric when followed by digit/sign *)
+    let rec num_end i =
+      if i >= n then i
+      else begin
+        let c = s.[i] in
+        if c = 'e' || c = 'E' then
+          if i + 1 < n && (match s.[i + 1] with '0' .. '9' | '+' | '-' -> true | _ -> false) then
+            num_end (i + 2)
+          else i
+        else if is_num_char c then num_end (i + 1)
+        else i
+      end
+    in
+    let split = num_end 0 in
+    if split = 0 then None
+    else begin
+      let number = String.sub s 0 split in
+      let rest = String.sub s split (n - split) in
+      match float_of_string_opt number with
+      | None -> None
+      | Some v ->
+          (* SPICE convention: "meg" beats "m"; any other trailing unit
+             letters after a recognized prefix are ignored *)
+          let rest_l = String.lowercase_ascii rest in
+          let scale =
+            if String.length rest_l >= 3 && String.sub rest_l 0 3 = "meg" then Some 1e6
+            else if rest_l = "" then Some 1.
+            else if rest.[0] = 'M' then Some 1e6 (* SI mega, distinct from milli *)
+            else
+              match suffix_scale (String.sub rest_l 0 1) with
+              | Some sc -> Some sc
+              | None -> if rest_l <> "" then Some 1. (* bare unit like "F" *) else None
+          in
+          Option.map (fun sc -> v *. sc) scale
+    end
+  end
+
+let ohms_per_square ~sheet ~squares =
+  if sheet < 0. || squares < 0. then invalid_arg "Units.ohms_per_square: negative argument";
+  sheet *. squares

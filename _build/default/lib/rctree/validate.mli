@@ -1,0 +1,31 @@
+(** Structural and physical validation of RC trees.
+
+    The builder already enforces tree-ness and non-negative values;
+    this module catches the *semantic* problems the paper warns about
+    (Section IV: "these fail for networks without any resistances or
+    capacitances") before analysis runs on a network. *)
+
+type problem =
+  | No_capacitance  (** total capacitance is zero — no transient at all *)
+  | No_outputs  (** nothing is marked as an output *)
+  | Output_without_resistance of string
+      (** a marked output sees zero resistance from the input: its
+          bounds are degenerate (instantaneous response) *)
+  | Dangling_resistor of string
+      (** a leaf node reached through resistance but carrying no
+          capacitance — harmless but almost always a modelling bug *)
+
+val problems : Tree.t -> problem list
+(** All problems found, stable order. *)
+
+val is_analyzable : Tree.t -> bool
+(** No [No_capacitance] / [No_outputs] problems; dangling resistors and
+    degenerate outputs are tolerated. *)
+
+val check_exn : Tree.t -> unit
+(** Raises [Invalid_argument] with a readable message listing every
+    problem when {!is_analyzable} is false. *)
+
+val problem_to_string : problem -> string
+
+val pp_problem : Format.formatter -> problem -> unit

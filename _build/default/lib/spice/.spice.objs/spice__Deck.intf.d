@@ -1,0 +1,1 @@
+lib/spice/deck.mli: Format

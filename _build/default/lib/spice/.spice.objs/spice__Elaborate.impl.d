@@ -1,0 +1,1 @@
+lib/spice/elaborate.ml: Array Deck Hashtbl List Option Printf Queue Rctree String

@@ -1,0 +1,1 @@
+lib/spice/elaborate.mli: Deck Rctree

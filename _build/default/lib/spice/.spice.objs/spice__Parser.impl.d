@@ -1,0 +1,1 @@
+lib/spice/parser.ml: Char Deck Filename Float List Printf Rctree String Sys

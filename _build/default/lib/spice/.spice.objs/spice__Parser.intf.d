@@ -1,0 +1,1 @@
+lib/spice/parser.mli: Deck

@@ -1,0 +1,1 @@
+lib/spice/printer.ml: Deck Format List Printf Rctree

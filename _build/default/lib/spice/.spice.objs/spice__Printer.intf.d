@@ -1,0 +1,1 @@
+lib/spice/printer.mli: Deck Rctree

@@ -1,0 +1,48 @@
+(** SPICE-like circuit decks.
+
+    The textual interchange format of the project.  A deck describes an
+    RC tree with the familiar card syntax:
+
+    {v
+      * fig7 example (ohms / farads)
+      VIN in 0
+      R1  in a 15
+      C1  a  0 2
+      R2  a  b 8
+      C2  b  0 7
+      U1  a  e 3 4
+      C3  e  0 9
+      .output e
+      .end
+    v}
+
+    Supported cards: [R<name> n1 n2 value], [C<name> n1 n2 value]
+    (one terminal must be ground), [U<name> n1 n2 rtotal ctotal]
+    (uniform distributed RC line), [V<name> n1 n2] (the step source —
+    exactly one, against ground).  Ground is node ["0"] or ["gnd"].
+    Values take SI/SPICE suffixes ([k], [u], [p], [meg], ...). *)
+
+type card =
+  | Resistor of { name : string; n1 : string; n2 : string; value : float }
+  | Capacitor of { name : string; n1 : string; n2 : string; value : float }
+  | Line of { name : string; n1 : string; n2 : string; resistance : float; capacitance : float }
+  | Source of { name : string; n1 : string; n2 : string }
+
+type t = {
+  title : string;
+  cards : card list;  (** in file order *)
+  outputs : string list;  (** nodes named by [.output] directives *)
+}
+
+val card_name : card -> string
+
+val is_ground : string -> bool
+(** ["0"] or ["gnd"]/["GND"]. *)
+
+val make : ?title:string -> ?outputs:string list -> card list -> t
+
+val equal : t -> t -> bool
+
+val pp_card : Format.formatter -> card -> unit
+
+val pp : Format.formatter -> t -> unit

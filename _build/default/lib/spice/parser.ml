@@ -1,0 +1,158 @@
+type error = { line : int; message : string }
+
+let error_to_string { line; message } = Printf.sprintf "line %d: %s" line message
+
+exception Parse_error of error
+
+let fail line message = raise (Parse_error { line; message })
+
+let strip_trailing_comment s =
+  let cut_at = ref (String.length s) in
+  String.iteri (fun i c -> if (c = ';' || c = '$') && i < !cut_at then cut_at := i) s;
+  String.sub s 0 !cut_at
+
+(* join '+' continuation lines, dropping blank and '*' comment lines;
+   returns (original_line_number, logical_line) pairs *)
+let logical_lines lines =
+  let numbered = List.mapi (fun i l -> (i + 1, l)) lines in
+  let relevant =
+    List.filter_map
+      (fun (n, l) ->
+        let l = strip_trailing_comment l in
+        let trimmed = String.trim l in
+        if trimmed = "" || trimmed.[0] = '*' then None else Some (n, trimmed))
+      numbered
+  in
+  List.fold_left
+    (fun acc (n, l) ->
+      if l.[0] = '+' then begin
+        match acc with
+        | [] -> fail n "continuation line with nothing to continue"
+        | (n0, prev) :: rest -> (n0, prev ^ " " ^ String.sub l 1 (String.length l - 1)) :: rest
+      end
+      else (n, l) :: acc)
+    [] relevant
+  |> List.rev
+
+let tokens line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun t -> t <> "")
+
+let parse_value n what s =
+  match Rctree.Units.parse_si s with
+  | Some v when Float.is_finite v -> v
+  | Some _ | None -> fail n (Printf.sprintf "bad %s value %S" what s)
+
+let elem_name prefix tok =
+  (* "R1" -> "1"; keep the full token when it is just the letter *)
+  if String.length tok > 1 then String.sub tok 1 (String.length tok - 1) else prefix
+
+let parse_card n line =
+  match tokens line with
+  | [] -> fail n "empty card"
+  | head :: args -> (
+      let kind = Char.lowercase_ascii head.[0] in
+      match (kind, args) with
+      | 'r', [ n1; n2; v ] ->
+          `Card (Deck.Resistor { name = elem_name "r" head; n1; n2; value = parse_value n "resistance" v })
+      | 'c', [ n1; n2; v ] ->
+          `Card (Deck.Capacitor { name = elem_name "c" head; n1; n2; value = parse_value n "capacitance" v })
+      | 'u', [ n1; n2; r; c ] ->
+          `Card
+            (Deck.Line
+               {
+                 name = elem_name "u" head;
+                 n1;
+                 n2;
+                 resistance = parse_value n "resistance" r;
+                 capacitance = parse_value n "capacitance" c;
+               })
+      | 'v', (n1 :: n2 :: _ : string list) -> `Card (Deck.Source { name = elem_name "v" head; n1; n2 })
+      | ('r' | 'c' | 'u' | 'v'), _ -> fail n (Printf.sprintf "wrong argument count for %S" head)
+      | '.', _ -> (
+          match (String.lowercase_ascii head, args) with
+          | ".end", _ -> `End
+          | ".title", words -> `Title (String.concat " " words)
+          | ".output", nodes when nodes <> [] -> `Outputs nodes
+          | ".output", [] -> fail n ".output needs at least one node"
+          | ".include", [ path ] ->
+              (* strip optional quotes *)
+              let path =
+                let l = String.length path in
+                if l >= 2 && path.[0] = '"' && path.[l - 1] = '"' then String.sub path 1 (l - 2)
+                else path
+              in
+              `Include path
+          | ".include", _ -> fail n ".include needs exactly one path"
+          | d, _ -> fail n (Printf.sprintf "unknown directive %S" d))
+      | _, _ -> fail n (Printf.sprintf "unknown card %S" head))
+
+(* resolver: how to turn an .include path into a sub-deck *)
+let parse_lines_exn ?resolve lines =
+  let logical = logical_lines lines in
+  (* SPICE tradition: a first line that is not a recognizable card is the title *)
+  let title, body =
+    match logical with
+    | (n, first) :: rest -> (
+        match parse_card n first with
+        | exception Parse_error _ -> (first, rest)
+        | `Title t -> (t, rest)
+        | `Card _ | `Outputs _ | `End | `Include _ -> ("", logical))
+    | [] -> ("", [])
+  in
+  let cards = ref [] and outputs = ref [] and title = ref title and ended = ref false in
+  List.iter
+    (fun (n, line) ->
+      if !ended then fail n "content after .end"
+      else
+        match parse_card n line with
+        | `Card c -> cards := c :: !cards
+        | `Title t -> title := t
+        | `Outputs ns -> outputs := !outputs @ ns
+        | `Include path -> (
+            match resolve with
+            | None -> fail n ".include needs a base directory (use parse_file)"
+            | Some f -> (
+                match f path with
+                | Ok (sub : Deck.t) ->
+                    List.iter (fun c -> cards := c :: !cards) sub.Deck.cards;
+                    outputs := !outputs @ sub.Deck.outputs
+                | Error e ->
+                    fail n
+                      (Printf.sprintf "in included file %S, line %d: %s" path e.line e.message)))
+        | `End -> ended := true)
+    body;
+  Deck.make ~title:!title ~outputs:!outputs (List.rev !cards)
+
+let parse_lines lines =
+  match parse_lines_exn lines with deck -> Ok deck | exception Parse_error e -> Error e
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  lines
+
+let parse_file ?(max_include_depth = 16) path =
+  let rec go depth path =
+    if depth < 0 then Error { line = 0; message = "includes nested too deeply" }
+    else begin
+      let dir = Filename.dirname path in
+      let resolve sub =
+        let sub_path = if Filename.is_relative sub then Filename.concat dir sub else sub in
+        if Sys.file_exists sub_path then go (depth - 1) sub_path
+        else Error { line = 0; message = "file not found" }
+      in
+      match parse_lines_exn ~resolve (read_lines path) with
+      | deck -> Ok deck
+      | exception Parse_error e -> Error e
+    end
+  in
+  go max_include_depth path

@@ -1,0 +1,19 @@
+(** Parser for the deck format of {!Deck}.
+
+    Accepts classic SPICE conventions: ['*'] comments, [';'] and ['$']
+    trailing comments, ['+'] continuation lines, case-insensitive card
+    letters, a first line treated as the title when it parses as no
+    known card, [.title]/[.output]/[.end] directives. *)
+
+type error = { line : int; message : string }
+
+val parse_string : string -> (Deck.t, error) result
+
+val parse_lines : string list -> (Deck.t, error) result
+
+val parse_file : ?max_include_depth:int -> string -> (Deck.t, error) result
+(** Raises [Sys_error] when a file cannot be read.  Errors inside an
+    included file carry that file's line number and name its path in
+    the message. *)
+
+val error_to_string : error -> string

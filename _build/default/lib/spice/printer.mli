@@ -1,0 +1,14 @@
+(** Emission: an {!Rctree.Tree} back to a {!Deck} / deck text.
+
+    [deck_of_tree] followed by {!Elaborate.to_tree} reproduces the tree
+    up to node numbering — the round-trip property the test suite
+    checks. *)
+
+val deck_of_tree : ?source_name:string -> Rctree.Tree.t -> Deck.t
+(** Node names become deck node names, the input is driven by a
+    [V<source_name>] card (default ["in"]), lumped capacitances become
+    [C] cards, output marks become [.output] directives. *)
+
+val to_string : Rctree.Tree.t -> string
+
+val write_file : string -> Rctree.Tree.t -> unit

@@ -1,0 +1,1 @@
+lib/sta/analysis.ml: Celllib Design Float Graph Hashtbl List Netdelay Option Printf Rctree String

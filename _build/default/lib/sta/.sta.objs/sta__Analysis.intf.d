@@ -1,0 +1,1 @@
+lib/sta/analysis.mli: Design

@@ -1,0 +1,1 @@
+lib/sta/celllib.ml: List Printf String Tech

@@ -1,0 +1,1 @@
+lib/sta/celllib.mli: Tech

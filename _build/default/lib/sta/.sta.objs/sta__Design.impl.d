@@ -1,0 +1,1 @@
+lib/sta/design.ml: Celllib Hashtbl List Option Printf String Tech

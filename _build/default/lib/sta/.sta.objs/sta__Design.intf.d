@@ -1,0 +1,1 @@
+lib/sta/design.mli: Celllib Tech

@@ -1,0 +1,1 @@
+lib/sta/generate.ml: Celllib Design Printf Tech

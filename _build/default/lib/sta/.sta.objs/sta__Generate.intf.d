@@ -1,0 +1,1 @@
+lib/sta/generate.mli: Celllib Design

@@ -1,0 +1,1 @@
+lib/sta/graph.ml: Design Hashtbl Int List Option Queue String

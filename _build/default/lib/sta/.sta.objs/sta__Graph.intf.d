@@ -1,0 +1,1 @@
+lib/sta/graph.mli: Design

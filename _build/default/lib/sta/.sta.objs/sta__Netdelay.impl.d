@@ -1,0 +1,1 @@
+lib/sta/netdelay.ml: Celllib Design Float List Rctree Tech

@@ -1,0 +1,1 @@
+lib/sta/netdelay.mli: Design Rctree

@@ -1,0 +1,1 @@
+lib/sta/netlist_io.ml: Buffer Celllib Design Float List Printf Rctree String Tech

@@ -1,0 +1,1 @@
+lib/sta/netlist_io.mli: Celllib Design

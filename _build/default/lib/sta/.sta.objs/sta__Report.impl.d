@@ -1,0 +1,1 @@
+lib/sta/report.ml: Analysis Buffer List Printf Rctree

@@ -1,0 +1,226 @@
+type window = { early : float; late : float }
+
+type mode = Elmore_mode | Bounds_mode
+
+type step =
+  | Through_net of { net : string; launch : window; arrival : window }
+  | Through_cell of { instance : string; cell : string; input : string; output : window }
+
+type t = {
+  design : Design.t;
+  analysis_mode : mode;
+  thresh : float;
+  launches : (string, window) Hashtbl.t; (* net -> window at driver output *)
+  pin_arrivals : (string * string, window) Hashtbl.t; (* load pin -> window *)
+  out_arrivals : (string, window) Hashtbl.t; (* instance -> output window *)
+  crit_input : (string, string) Hashtbl.t; (* instance -> input pin setting the late edge *)
+  pin_net : (string * string, string) Hashtbl.t; (* load pin -> net feeding it *)
+  end_arrivals : (string, window) Hashtbl.t; (* primary-output net -> arrival *)
+  end_crit_sink : (string, Design.pin option) Hashtbl.t;
+}
+
+let add_window a b = { early = a.early +. b.early; late = a.late +. b.late }
+
+let net_window r d (net : Design.net) pin =
+  match r.analysis_mode with
+  | Bounds_mode ->
+      let delays = Netdelay.sink_delays ~threshold:r.thresh d net in
+      let sd = List.find (fun (s : Netdelay.sink_delay) -> s.sink = pin) delays in
+      let lo, hi = sd.window in
+      { early = lo; late = hi }
+  | Elmore_mode ->
+      let delays = Netdelay.sink_delays ~threshold:r.thresh d net in
+      let sd = List.find (fun (s : Netdelay.sink_delay) -> s.sink = pin) delays in
+      { early = sd.elmore; late = sd.elmore }
+
+let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
+  List.iter
+    (fun (name, at) ->
+      (match Design.net d name with
+      | { Design.driver = Design.Primary _; _ } -> ()
+      | { Design.driver = Design.Cell_output _; _ } ->
+          invalid_arg
+            (Printf.sprintf "Analysis.run: %S is not a primary-input net" name)
+      | exception Not_found ->
+          invalid_arg (Printf.sprintf "Analysis.run: unknown net %S" name));
+      if at < 0. then invalid_arg "Analysis.run: negative input arrival")
+    input_arrivals;
+  match Graph.topological_order (Graph.of_design d) with
+  | Error cycle -> Error cycle
+  | Ok order ->
+      let r =
+        {
+          design = d;
+          analysis_mode = mode;
+          thresh = threshold;
+          launches = Hashtbl.create 16;
+          pin_arrivals = Hashtbl.create 16;
+          out_arrivals = Hashtbl.create 16;
+          crit_input = Hashtbl.create 16;
+          pin_net = Hashtbl.create 16;
+          end_arrivals = Hashtbl.create 16;
+          end_crit_sink = Hashtbl.create 16;
+        }
+      in
+      let zero = { early = 0.; late = 0. } in
+      (* launch of primary-input nets, and load-pin bookkeeping *)
+      List.iter
+        (fun (net : Design.net) ->
+          (match net.Design.driver with
+          | Design.Primary _ ->
+              let at =
+                Option.value (List.assoc_opt net.Design.net_name input_arrivals) ~default:0.
+              in
+              Hashtbl.replace r.launches net.Design.net_name { early = at; late = at }
+          | Design.Cell_output _ -> ());
+          List.iter
+            (fun { Design.instance; pin } ->
+              Hashtbl.replace r.pin_net (instance, pin) net.Design.net_name)
+            net.Design.loads)
+        (Design.nets d);
+      (* propagate one net once its launch is known *)
+      let propagate_net (net : Design.net) =
+        match Hashtbl.find_opt r.launches net.Design.net_name with
+        | None -> ()
+        | Some launch ->
+            List.iter
+              (fun pin ->
+                let w = net_window r d net pin in
+                Hashtbl.replace r.pin_arrivals (pin.Design.instance, pin.Design.pin)
+                  (add_window launch w))
+              net.Design.loads
+      in
+      List.iter propagate_net (Design.nets d);
+      (* instances in topological order *)
+      List.iter
+        (fun name ->
+          let cell = Design.cell_of d name in
+          let input_windows =
+            List.map
+              (fun (pin, _) ->
+                (pin, Option.value (Hashtbl.find_opt r.pin_arrivals (name, pin)) ~default:zero))
+              cell.Celllib.inputs
+          in
+          let worst_pin, worst =
+            List.fold_left
+              (fun ((_, acc) as best) ((_, w) as cand) -> if w.late > acc.late then cand else best)
+              (List.hd input_windows) (List.tl input_windows)
+          in
+          let earliest =
+            List.fold_left (fun acc (_, w) -> Float.min acc w.early) worst.early input_windows
+          in
+          let load =
+            match Design.net_driven_by d name with
+            | Some net -> Netdelay.load_capacitance d net
+            | None -> 0.
+          in
+          let cell_delay =
+            cell.Celllib.intrinsic_delay +. (cell.Celllib.delay_per_farad *. load)
+          in
+          let out = { early = earliest +. cell_delay; late = worst.late +. cell_delay } in
+          Hashtbl.replace r.out_arrivals name out;
+          Hashtbl.replace r.crit_input name worst_pin;
+          (match Design.net_driven_by d name with
+          | Some net ->
+              Hashtbl.replace r.launches net.Design.net_name out;
+              propagate_net net
+          | None -> ()))
+        order;
+      (* endpoints *)
+      List.iter
+        (fun po ->
+          let net = Design.net d po in
+          let launch = Option.value (Hashtbl.find_opt r.launches po) ~default:zero in
+          let arrival, crit_sink =
+            match net.Design.loads with
+            | [] ->
+                let lo, hi = Netdelay.worst_window ~threshold:r.thresh d net in
+                ( (match r.analysis_mode with
+                  | Bounds_mode -> add_window launch { early = lo; late = hi }
+                  | Elmore_mode ->
+                      let tree = Netdelay.tree_of_net d net in
+                      let output = snd (List.hd (Rctree.Tree.outputs tree)) in
+                      let e = Rctree.Moments.elmore tree ~output in
+                      add_window launch { early = e; late = e }),
+                  None )
+            | loads ->
+                let worst =
+                  List.fold_left
+                    (fun acc pin ->
+                      let w = add_window launch (net_window r d net pin) in
+                      match acc with
+                      | Some (_, best) when best.late >= w.late -> acc
+                      | Some _ | None -> Some (pin, w))
+                    None loads
+                in
+                (match worst with
+                | Some (pin, w) -> (w, Some pin)
+                | None -> (launch, None))
+          in
+          Hashtbl.replace r.end_arrivals po arrival;
+          Hashtbl.replace r.end_crit_sink po crit_sink)
+        (Design.primary_outputs d);
+      Ok r
+
+let run_exn ?mode ?threshold ?input_arrivals d =
+  match run ?mode ?threshold ?input_arrivals d with
+  | Ok r -> r
+  | Error cycle ->
+      invalid_arg ("Analysis.run_exn: combinational cycle through " ^ String.concat ", " cycle)
+
+let mode r = r.analysis_mode
+let threshold r = r.thresh
+let net_launch r name = Hashtbl.find r.launches name
+let pin_arrival r { Design.instance; pin } = Hashtbl.find r.pin_arrivals (instance, pin)
+let output_arrival r name = Hashtbl.find r.out_arrivals name
+let endpoint_arrival r name = Hashtbl.find r.end_arrivals name
+
+let endpoints r =
+  List.map (fun po -> (po, endpoint_arrival r po)) (Design.primary_outputs r.design)
+
+let worst_endpoint r =
+  List.fold_left
+    (fun acc (po, w) ->
+      match acc with Some (_, best) when best.late >= w.late -> acc | Some _ | None -> Some (po, w))
+    None (endpoints r)
+
+let critical_path r endpoint =
+  let rec back_from_net net_name sink steps =
+    let net = Design.net r.design net_name in
+    let launch = Option.value (Hashtbl.find_opt r.launches net_name) ~default:{ early = 0.; late = 0. } in
+    let arrival =
+      match sink with
+      | Some pin -> pin_arrival r pin
+      | None -> Option.value (Hashtbl.find_opt r.end_arrivals net_name) ~default:launch
+    in
+    let steps = Through_net { net = net_name; launch; arrival } :: steps in
+    match net.Design.driver with
+    | Design.Primary _ -> steps
+    | Design.Cell_output { instance; _ } ->
+        let cell = Design.cell_of r.design instance in
+        let input = Hashtbl.find r.crit_input instance in
+        let steps =
+          Through_cell
+            {
+              instance;
+              cell = cell.Celllib.cell_name;
+              input;
+              output = output_arrival r instance;
+            }
+          :: steps
+        in
+        (match Hashtbl.find_opt r.pin_net (instance, input) with
+        | Some feeding -> back_from_net feeding (Some { Design.instance; pin = input }) steps
+        | None -> steps)
+  in
+  let crit_sink = Hashtbl.find r.end_crit_sink endpoint in
+  back_from_net endpoint crit_sink []
+
+let hold_slack r ~hold =
+  if hold < 0. then invalid_arg "Analysis.hold_slack: negative hold requirement";
+  List.map (fun (po, w) -> (po, w.early -. hold)) (endpoints r)
+
+let required_period r =
+  List.fold_left (fun acc (_, w) -> Float.max acc w.late) 0. (endpoints r)
+
+let slack r ~period = List.map (fun (po, w) -> (po, period -. w.late)) (endpoints r)

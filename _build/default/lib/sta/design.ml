@@ -1,0 +1,125 @@
+type pin = { instance : string; pin : string }
+
+type wire_shape =
+  | Direct
+  | Lumped of float
+  | Line of { resistance : float; capacitance : float }
+  | Star of { resistance : float; capacitance : float }
+  | Daisy of { resistance : float; capacitance : float }
+
+type driver_kind = Cell_output of pin | Primary of Tech.Mosfet.driver
+
+type net = { net_name : string; driver : driver_kind; loads : pin list; wire : wire_shape }
+
+type t = {
+  lib : Celllib.library;
+  insts : (string, Celllib.cell) Hashtbl.t;
+  mutable net_order : string list; (* reverse declaration order *)
+  net_tbl : (string, net) Hashtbl.t;
+  used_loads : (string * string, string) Hashtbl.t; (* (inst, pin) -> net *)
+  driver_of_inst : (string, string) Hashtbl.t; (* instance -> net its output drives *)
+  mutable pos : string list; (* reverse order *)
+}
+
+let create lib =
+  {
+    lib;
+    insts = Hashtbl.create 16;
+    net_order = [];
+    net_tbl = Hashtbl.create 16;
+    used_loads = Hashtbl.create 16;
+    driver_of_inst = Hashtbl.create 16;
+    pos = [];
+  }
+
+let library d = d.lib
+
+let add_instance d ~cell name =
+  if Hashtbl.mem d.insts name then
+    invalid_arg (Printf.sprintf "Design.add_instance: duplicate instance %S" name);
+  match Celllib.find d.lib cell with
+  | c -> Hashtbl.replace d.insts name c
+  | exception Not_found -> invalid_arg (Printf.sprintf "Design.add_instance: unknown cell %S" cell)
+
+let cell_of d name = Hashtbl.find d.insts name
+
+let validate_load d net_name { instance; pin } =
+  let cell =
+    match Hashtbl.find_opt d.insts instance with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Design.add_net: unknown instance %S" instance)
+  in
+  if not (Celllib.has_input cell pin) then
+    invalid_arg
+      (Printf.sprintf "Design.add_net: %S has no input pin %S (cell %s)" instance pin
+         cell.Celllib.cell_name);
+  match Hashtbl.find_opt d.used_loads (instance, pin) with
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf "Design.add_net: pin %s/%s already loaded by net %S" instance pin other)
+  | None -> Hashtbl.replace d.used_loads (instance, pin) net_name
+
+let add_net d ?(wire = Direct) ~driver ~loads name =
+  if Hashtbl.mem d.net_tbl name then
+    invalid_arg (Printf.sprintf "Design.add_net: duplicate net %S" name);
+  (match driver with
+  | Primary _ -> ()
+  | Cell_output { instance; pin } -> (
+      match Hashtbl.find_opt d.insts instance with
+      | None -> invalid_arg (Printf.sprintf "Design.add_net: unknown instance %S" instance)
+      | Some cell ->
+          if cell.Celllib.output <> pin then
+            invalid_arg
+              (Printf.sprintf "Design.add_net: %S output pin is %S, not %S" instance
+                 cell.Celllib.output pin);
+          if Hashtbl.mem d.driver_of_inst instance then
+            invalid_arg (Printf.sprintf "Design.add_net: instance %S already drives a net" instance);
+          Hashtbl.replace d.driver_of_inst instance name));
+  List.iter (validate_load d name) loads;
+  (match wire with
+  | Direct -> ()
+  | Lumped c -> if c < 0. then invalid_arg "Design.add_net: negative lumped capacitance"
+  | Line { resistance; capacitance }
+  | Star { resistance; capacitance }
+  | Daisy { resistance; capacitance } ->
+      if resistance < 0. || capacitance < 0. then
+        invalid_arg "Design.add_net: negative wire values");
+  Hashtbl.replace d.net_tbl name { net_name = name; driver; loads; wire };
+  d.net_order <- name :: d.net_order
+
+let mark_primary_output d name =
+  if not (Hashtbl.mem d.net_tbl name) then
+    invalid_arg (Printf.sprintf "Design.mark_primary_output: unknown net %S" name);
+  if not (List.mem name d.pos) then d.pos <- name :: d.pos
+
+let instances d =
+  Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) d.insts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let nets d = List.rev_map (Hashtbl.find d.net_tbl) d.net_order
+let net d name = Hashtbl.find d.net_tbl name
+let net_driven_by d instance = Option.map (Hashtbl.find d.net_tbl) (Hashtbl.find_opt d.driver_of_inst instance)
+
+let nets_loading d instance =
+  List.filter (fun n -> List.exists (fun l -> l.instance = instance) n.loads) (nets d)
+
+let primary_outputs d = List.rev d.pos
+
+let check d =
+  let problems = ref [] in
+  let add p = problems := p :: !problems in
+  List.iter
+    (fun (name, cell) ->
+      List.iter
+        (fun (pin, _) ->
+          if not (Hashtbl.mem d.used_loads (name, pin)) then
+            add (Printf.sprintf "input pin %s/%s is unconnected" name pin))
+        cell.Celllib.inputs;
+      if not (Hashtbl.mem d.driver_of_inst name) then
+        add (Printf.sprintf "output of instance %s drives nothing" name))
+    (instances d);
+  List.iter
+    (fun n -> if n.loads = [] && not (List.mem n.net_name d.pos) then
+        add (Printf.sprintf "net %s has no loads and is not a primary output" n.net_name))
+    (nets d);
+  List.rev !problems

@@ -1,0 +1,76 @@
+(** Gate-level designs: cell instances wired by nets that carry
+    interconnect models.
+
+    The paper's motivating situation (Fig. 1) is "an inverter drives
+    several gates through long polysilicon wires"; a [net] here is
+    exactly that: one driver, an RC interconnect shape, several load
+    pins.  Wire shapes cover the common cases; arbitrary trees can be
+    attached with [Tree_wire]. *)
+
+type pin = { instance : string; pin : string }
+
+type wire_shape =
+  | Direct  (** ideal wire: no interconnect R or C *)
+  | Lumped of float  (** a single capacitance to ground (metal wire) *)
+  | Line of { resistance : float; capacitance : float }
+      (** one distributed line; every load sits at the far end *)
+  | Star of { resistance : float; capacitance : float }
+      (** a separate distributed line from the driver to each load *)
+  | Daisy of { resistance : float; capacitance : float }
+      (** loads strung along one line at equal spacing, in declaration
+          order; total line R and C given *)
+
+type driver_kind =
+  | Cell_output of pin
+  | Primary of Tech.Mosfet.driver  (** driven from outside the design *)
+
+type net = {
+  net_name : string;
+  driver : driver_kind;
+  loads : pin list;  (** in declaration order *)
+  wire : wire_shape;
+}
+
+type t
+
+val create : Celllib.library -> t
+
+val library : t -> Celllib.library
+
+val add_instance : t -> cell:string -> string -> unit
+(** Raises [Invalid_argument] on an unknown cell or duplicate instance
+    name. *)
+
+val add_net : t -> ?wire:wire_shape -> driver:driver_kind -> loads:pin list -> string -> unit
+(** Default wire is [Direct].  Raises [Invalid_argument] on duplicate
+    net names, unknown instances/pins, a load pin used twice (here or
+    on another net), or a cell output pin used as a load. *)
+
+val mark_primary_output : t -> string -> unit
+(** Marks a net as observed; primary outputs are the timing endpoints.
+    Raises [Invalid_argument] on an unknown net. *)
+
+val instances : t -> (string * Celllib.cell) list
+(** Sorted by instance name. *)
+
+val cell_of : t -> string -> Celllib.cell
+(** Raises [Not_found]. *)
+
+val nets : t -> net list
+(** In declaration order. *)
+
+val net : t -> string -> net
+(** Raises [Not_found]. *)
+
+val net_driven_by : t -> string -> net option
+(** The net driven by the given instance's output, if any. *)
+
+val nets_loading : t -> string -> net list
+(** Nets with at least one load pin on the given instance. *)
+
+val primary_outputs : t -> string list
+
+val check : t -> string list
+(** Residual problems, human-readable: instances with unconnected
+    input pins, cell outputs driving nothing, nets with no loads.
+    Empty means clean. *)

@@ -1,0 +1,52 @@
+let carry_chain_depth ~bits = (2 * bits) + 4
+
+(* classic 9-NAND full adder:
+     n1 = nand(a, b)      n2 = nand(a, n1)    n3 = nand(b, n1)
+     n4 = nand(n2, n3)                        (= a xor b)
+     n5 = nand(n4, cin)   n6 = nand(n4, n5)   n7 = nand(cin, n5)
+     sum  = nand(n6, n7)
+     cout = nand(n5, n1) *)
+let ripple_carry_adder ?(wire = Design.Lumped 2e-14) ?library ~bits () =
+  if bits < 1 then invalid_arg "Generate.ripple_carry_adder: bits must be >= 1";
+  let lib = match library with Some l -> l | None -> Celllib.default Tech.Process.default_4um in
+  let d = Design.create lib in
+  let pin instance p = { Design.instance; pin = p } in
+  (* one net per (driver, sinks) pair; sinks are filled per bit below *)
+  let gate bit k = Printf.sprintf "fa%d_g%d" bit k in
+  for bit = 0 to bits - 1 do
+    for k = 1 to 9 do
+      Design.add_instance d ~cell:"nand2" (gate bit k)
+    done
+  done;
+  let internal name driver loads = Design.add_net d ~wire ~driver:(Design.Cell_output driver) ~loads name in
+  let input name loads =
+    Design.add_net d ~wire ~driver:(Design.Primary Tech.Mosfet.paper_superbuffer) ~loads name
+  in
+  for bit = 0 to bits - 1 do
+    let g k = gate bit k in
+    (* primary operand inputs for this bit *)
+    input (Printf.sprintf "a%d" bit) [ pin (g 1) "a"; pin (g 2) "a" ];
+    input (Printf.sprintf "b%d" bit) [ pin (g 1) "b"; pin (g 3) "a" ];
+    (* the incoming carry: cin for bit 0, the previous cout otherwise *)
+    let cin_loads = [ pin (g 5) "b"; pin (g 7) "a" ] in
+    if bit = 0 then input "cin" cin_loads
+    else internal (Printf.sprintf "c%d" bit) (pin (gate (bit - 1) 9) "y") cin_loads;
+    internal (Printf.sprintf "%s_n1" (g 1)) (pin (g 1) "y")
+      [ pin (g 2) "b"; pin (g 3) "b"; pin (g 9) "b" ];
+    internal (Printf.sprintf "%s_n2" (g 2)) (pin (g 2) "y") [ pin (g 4) "a" ];
+    internal (Printf.sprintf "%s_n3" (g 3)) (pin (g 3) "y") [ pin (g 4) "b" ];
+    internal (Printf.sprintf "%s_n4" (g 4)) (pin (g 4) "y") [ pin (g 5) "a"; pin (g 6) "a" ];
+    internal (Printf.sprintf "%s_n5" (g 5)) (pin (g 5) "y")
+      [ pin (g 6) "b"; pin (g 7) "b"; pin (g 9) "a" ];
+    internal (Printf.sprintf "%s_n6" (g 6)) (pin (g 6) "y") [ pin (g 8) "a" ];
+    internal (Printf.sprintf "%s_n7" (g 7)) (pin (g 7) "y") [ pin (g 8) "b" ];
+    let sum = Printf.sprintf "s%d" bit in
+    Design.add_net d ~wire ~driver:(Design.Cell_output (pin (g 8) "y")) ~loads:[] sum;
+    Design.mark_primary_output d sum
+  done;
+  (* the final carry out *)
+  Design.add_net d ~wire
+    ~driver:(Design.Cell_output (pin (gate (bits - 1) 9) "y"))
+    ~loads:[] "cout";
+  Design.mark_primary_output d "cout";
+  d

@@ -1,0 +1,23 @@
+(** Synthetic design generators for testing and benchmarking the
+    timing engine at realistic sizes.
+
+    The ripple-carry adder is the classic STA stress shape: the carry
+    chain makes logic depth (and therefore the critical path) grow
+    linearly with the width, while the sum bits hang off it at every
+    stage. *)
+
+val ripple_carry_adder :
+  ?wire:Design.wire_shape -> ?library:Celllib.library -> bits:int -> unit -> Design.t
+(** An n-bit adder built from 9-NAND full adders ([9·bits] instances of
+    the library's ["nand2"]).  Primary inputs [a0..], [b0..] and [cin];
+    primary outputs the sum nets [s0..] and the final carry [cout].
+    [wire] is the interconnect model given to every internal net
+    (default: a small lumped load, [Lumped 20 fF]); input nets are
+    driven by the paper's superbuffer.  The default library is
+    {!Celllib.default} in the paper's process.
+    Raises [Invalid_argument] unless [bits >= 1]. *)
+
+val carry_chain_depth : bits:int -> int
+(** Logic depth of the adder's longest path (through the last sum
+    bit): [2·bits + 4] NAND levels — documented so benchmarks can
+    check the generator's shape. *)

@@ -1,0 +1,74 @@
+type t = {
+  names : string list; (* sorted *)
+  preds : (string, string list) Hashtbl.t;
+  succs : (string, string list) Hashtbl.t;
+}
+
+let of_design d =
+  let names = List.map fst (Design.instances d) in
+  let preds = Hashtbl.create 16 and succs = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace preds n [];
+      Hashtbl.replace succs n [])
+    names;
+  List.iter
+    (fun (net : Design.net) ->
+      match net.Design.driver with
+      | Design.Primary _ -> ()
+      | Design.Cell_output { instance = src; _ } ->
+          List.iter
+            (fun { Design.instance = dst; _ } ->
+              Hashtbl.replace preds dst (src :: Hashtbl.find preds dst);
+              Hashtbl.replace succs src (dst :: Hashtbl.find succs src))
+            net.Design.loads)
+    (Design.nets d);
+  let dedup tbl =
+    Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (List.sort_uniq String.compare v)) (Hashtbl.copy tbl)
+  in
+  dedup preds;
+  dedup succs;
+  { names; preds; succs }
+
+let predecessors g name = Option.value (Hashtbl.find_opt g.preds name) ~default:[]
+let successors g name = Option.value (Hashtbl.find_opt g.succs name) ~default:[]
+
+let topological_order g =
+  let indegree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indegree n (List.length (predecessors g n))) g.names;
+  let ready =
+    List.filter (fun n -> Hashtbl.find indegree n = 0) g.names
+  in
+  let queue = Queue.create () in
+  List.iter (fun n -> Queue.add n queue) ready;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    order := n :: !order;
+    incr seen;
+    List.iter
+      (fun s ->
+        let d = Hashtbl.find indegree s - 1 in
+        Hashtbl.replace indegree s d;
+        if d = 0 then Queue.add s queue)
+      (successors g n)
+  done;
+  if !seen = List.length g.names then Ok (List.rev !order)
+  else begin
+    let stuck = List.filter (fun n -> Hashtbl.find indegree n > 0) g.names in
+    Error stuck
+  end
+
+let levels g =
+  match topological_order g with
+  | Error _ -> invalid_arg "Graph.levels: design has a combinational cycle"
+  | Ok order ->
+      let level = Hashtbl.create 16 in
+      List.iter
+        (fun n ->
+          let l =
+            List.fold_left (fun acc p -> Int.max acc (Hashtbl.find level p + 1)) 0 (predecessors g n)
+          in
+          Hashtbl.replace level n l)
+        order;
+      List.map (fun n -> (n, Hashtbl.find level n)) order

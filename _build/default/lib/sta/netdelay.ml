@@ -1,0 +1,99 @@
+let sink_label { Design.instance; pin } = instance ^ "/" ^ pin
+
+let load_capacitance d { Design.instance; pin } =
+  Celllib.input_capacitance (Design.cell_of d instance) pin
+
+let driver_of d (net : Design.net) =
+  match net.Design.driver with
+  | Design.Primary drv -> drv
+  | Design.Cell_output { instance; _ } -> (Design.cell_of d instance).Celllib.drive
+
+let tree_of_net d (net : Design.net) =
+  let drv = driver_of d net in
+  let b = Rctree.Tree.Builder.create ~name:net.Design.net_name () in
+  let root = Rctree.Tree.Builder.input b in
+  let source =
+    Rctree.Tree.Builder.add_resistor b ~parent:root ~name:"drv" drv.Tech.Mosfet.on_resistance
+  in
+  Rctree.Tree.Builder.add_capacitance b source drv.Tech.Mosfet.output_capacitance;
+  let attach_sink at pin =
+    Rctree.Tree.Builder.add_capacitance b at (load_capacitance d pin);
+    Rctree.Tree.Builder.mark_output b ~label:(sink_label pin) at
+  in
+  (match (net.Design.wire, net.Design.loads) with
+  | Design.Direct, loads -> List.iter (attach_sink source) loads
+  | Design.Lumped c, loads ->
+      Rctree.Tree.Builder.add_capacitance b source c;
+      List.iter (attach_sink source) loads
+  | Design.Line { resistance; capacitance }, loads ->
+      let far = Rctree.Tree.Builder.add_line b ~parent:source ~name:"wire" resistance capacitance in
+      List.iter (attach_sink far) loads
+  | Design.Star { resistance; capacitance }, loads ->
+      List.iter
+        (fun pin ->
+          let far =
+            Rctree.Tree.Builder.add_line b ~parent:source ~name:("wire." ^ sink_label pin)
+              resistance capacitance
+          in
+          attach_sink far pin)
+        loads
+  | Design.Daisy { resistance; capacitance }, loads ->
+      let n = List.length loads in
+      if n = 0 then
+        ignore (Rctree.Tree.Builder.add_line b ~parent:source ~name:"wire" resistance capacitance)
+      else begin
+        let r_seg = resistance /. float_of_int n and c_seg = capacitance /. float_of_int n in
+        let (_ : Rctree.Tree.node_id) =
+          List.fold_left
+            (fun at pin ->
+              let next =
+                Rctree.Tree.Builder.add_line b ~parent:at ~name:("tap." ^ sink_label pin) r_seg
+                  c_seg
+              in
+              attach_sink next pin;
+              next)
+            source loads
+        in
+        ()
+      end);
+  if net.Design.loads = [] then begin
+    let snapshot = Rctree.Tree.Builder.finish b in
+    (* deepest node = far end of whatever wire exists *)
+    let far = Rctree.Tree.node_count snapshot - 1 in
+    Rctree.Tree.Builder.mark_output b ~label:(net.Design.net_name ^ ".end") far
+  end;
+  Rctree.Tree.Builder.finish b
+
+let load_capacitance d (net : Design.net) =
+  let drv = driver_of d net in
+  let tree = tree_of_net d net in
+  Rctree.Tree.total_capacitance tree -. drv.Tech.Mosfet.output_capacitance
+
+type sink_delay = { sink : Design.pin; elmore : float; window : float * float }
+
+let sink_delays ?(threshold = 0.5) d (net : Design.net) =
+  let tree = tree_of_net d net in
+  List.map
+    (fun pin ->
+      let output = Rctree.Tree.output_named tree (sink_label pin) in
+      let ts = Rctree.Moments.times tree ~output in
+      {
+        sink = pin;
+        elmore = ts.Rctree.Times.t_d;
+        window = (Rctree.Bounds.t_min ts threshold, Rctree.Bounds.t_max ts threshold);
+      })
+    net.Design.loads
+
+let worst_window ?(threshold = 0.5) d net =
+  let tree = tree_of_net d net in
+  let windows =
+    List.map
+      (fun (_, output) ->
+        let ts = Rctree.Moments.times tree ~output in
+        (Rctree.Bounds.t_min ts threshold, Rctree.Bounds.t_max ts threshold))
+      (Rctree.Tree.outputs tree)
+  in
+  match windows with
+  | [] -> (0., 0.)
+  | first :: rest ->
+      List.fold_left (fun (lo, hi) (l, h) -> (Float.min lo l, Float.max hi h)) first rest

@@ -1,0 +1,32 @@
+(** Interconnect delay of one net, through the paper's machinery.
+
+    For every net the engine builds the RC tree of Fig. 2: the driver's
+    linearized resistance at the root, its output parasitics, the wire
+    shape, and the load-pin gate capacitances at the sinks.  Per-sink
+    delay then comes either as an Elmore estimate or as a
+    Penfield–Rubinstein [(t_min, t_max)] window. *)
+
+val tree_of_net : Design.t -> Design.net -> Rctree.Tree.t
+(** Sink nodes are marked as outputs labelled ["instance/pin"].  When
+    the net has no loads a single output labelled ["<net>.end"] marks
+    the far end of the wire (or the driver node for [Direct] wires). *)
+
+val sink_label : Design.pin -> string
+
+type sink_delay = {
+  sink : Design.pin;
+  elmore : float;
+  window : float * float;  (** [(t_min, t_max)] at the chosen threshold *)
+}
+
+val sink_delays : ?threshold:float -> Design.t -> Design.net -> sink_delay list
+(** Threshold defaults to 0.5.  Order follows the net's load list. *)
+
+val load_capacitance : Design.t -> Design.net -> float
+(** Total capacitance the net's driver must charge: wire plus every
+    load pin (the driver's own output parasitics excluded — they are
+    part of the driver model, not the load). *)
+
+val worst_window : ?threshold:float -> Design.t -> Design.net -> float * float
+(** Componentwise: [(min over sinks of t_min, max over sinks of
+    t_max)]; [(0, 0)] for a net with no loads. *)

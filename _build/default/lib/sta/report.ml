@@ -1,0 +1,68 @@
+let fmt_time t = Rctree.Units.format_quantity ~unit_symbol:"s" t
+
+let window_to_string (w : Analysis.window) =
+  if w.Analysis.early = w.Analysis.late then fmt_time w.Analysis.late
+  else Printf.sprintf "[%s, %s]" (fmt_time w.Analysis.early) (fmt_time w.Analysis.late)
+
+let endpoint_summary r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "endpoint arrivals:\n";
+  List.iter
+    (fun (po, w) -> Buffer.add_string buf (Printf.sprintf "  %-16s %s\n" po (window_to_string w)))
+    (Analysis.endpoints r);
+  Buffer.contents buf
+
+let step_to_string = function
+  | Analysis.Through_net { net; launch; arrival } ->
+      Printf.sprintf "  net  %-14s launch %s -> arrive %s" net (window_to_string launch)
+        (window_to_string arrival)
+  | Analysis.Through_cell { instance; cell; input; output } ->
+      Printf.sprintf "  cell %-14s (%s) via pin %s -> out %s" instance cell input
+        (window_to_string output)
+
+let path_report r endpoint =
+  let steps = Analysis.critical_path r endpoint in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "critical path to %s:\n" endpoint);
+  List.iter (fun s -> Buffer.add_string buf (step_to_string s ^ "\n")) steps;
+  Buffer.contents buf
+
+let timing_report ?period ?hold r =
+  let buf = Buffer.create 512 in
+  let mode_name =
+    match Analysis.mode r with
+    | Analysis.Bounds_mode -> "Penfield-Rubinstein bounds"
+    | Analysis.Elmore_mode -> "Elmore"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "timing report (mode: %s, threshold %g)\n" mode_name (Analysis.threshold r));
+  Buffer.add_string buf (endpoint_summary r);
+  (match Analysis.worst_endpoint r with
+  | Some (po, _) -> Buffer.add_string buf (path_report r po)
+  | None -> ());
+  (match hold with
+  | None -> ()
+  | Some h ->
+      Buffer.add_string buf (Printf.sprintf "hold check at %s:\n" (fmt_time h));
+      List.iter
+        (fun (po, s) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-16s %-9s slack %s\n" po
+               (if s >= 0. then "PASS" else "FAIL")
+               (fmt_time s)))
+        (Analysis.hold_slack r ~hold:h));
+  (match period with
+  | None -> ()
+  | Some p ->
+      Buffer.add_string buf (Printf.sprintf "slack at period %s:\n" (fmt_time p));
+      List.iter
+        (fun (po, w) ->
+          let verdict =
+            if w.Analysis.late <= p then "PASS"
+            else if w.Analysis.early > p then "FAIL"
+            else "UNCERTAIN"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-16s %-9s slack %s\n" po verdict (fmt_time (p -. w.Analysis.late))))
+        (Analysis.endpoints r));
+  Buffer.contents buf

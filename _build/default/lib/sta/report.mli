@@ -1,0 +1,19 @@
+(** Human-readable timing reports. *)
+
+val window_to_string : Analysis.window -> string
+(** ["[12.3ns, 15.1ns]"]. *)
+
+val endpoint_summary : Analysis.t -> string
+(** One line per primary output: arrival window (or point estimate in
+    Elmore mode). *)
+
+val path_report : Analysis.t -> string -> string
+(** The critical path to one endpoint, one step per line with
+    cumulative arrivals. *)
+
+val timing_report : ?period:float -> ?hold:float -> Analysis.t -> string
+(** Full report: endpoint summary, worst path, a hold check against the
+    early edges when [hold] is given, and — when [period] is given —
+    per-endpoint slack with PASS/FAIL/UNCERTAIN verdicts (late-edge met
+    / early-edge missed / in between, mirroring the paper's OK function
+    at design level). *)

@@ -1,0 +1,1 @@
+lib/tech/mosfet.ml: Printf Process Rctree

@@ -1,0 +1,1 @@
+lib/tech/mosfet.mli: Process Rctree

@@ -1,0 +1,1 @@
+lib/tech/pla.ml: List Mosfet Printf Process Rctree Wire

@@ -1,0 +1,1 @@
+lib/tech/pla.mli: Mosfet Process Rctree

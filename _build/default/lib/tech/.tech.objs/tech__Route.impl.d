@@ -1,0 +1,1 @@
+lib/tech/route.ml: List Mosfet Printf Rctree String Wire

@@ -1,0 +1,1 @@
+lib/tech/route.mli: Mosfet Process Rctree Wire

@@ -1,0 +1,1 @@
+lib/tech/variation.ml: Array Float Format Numeric Printf Process Random Rctree

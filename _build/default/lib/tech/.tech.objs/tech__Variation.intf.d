@@ -1,0 +1,1 @@
+lib/tech/variation.mli: Format Process Rctree

@@ -1,0 +1,1 @@
+lib/tech/wire.ml: Process Rctree

@@ -1,0 +1,1 @@
+lib/tech/wire.mli: Process Rctree

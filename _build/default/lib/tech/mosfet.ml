@@ -1,0 +1,34 @@
+type driver = { name : string; on_resistance : float; output_capacitance : float }
+
+let driver ?(name = "driver") ~on_resistance ~output_capacitance () =
+  if on_resistance <= 0. then invalid_arg "Mosfet.driver: on_resistance must be positive";
+  if output_capacitance < 0. then invalid_arg "Mosfet.driver: negative output capacitance";
+  { name; on_resistance; output_capacitance }
+
+let paper_superbuffer =
+  { name = "superbuffer"; on_resistance = 378.; output_capacitance = 0.04e-12 }
+
+(* effective channel sheet resistance, referenced to the default
+   process and scaled with the poly film like other resistances *)
+let channel_sheet_resistance (p : Process.t) =
+  10_000. *. (p.poly_sheet_resistance /. Process.default_4um.Process.poly_sheet_resistance)
+
+let gate_load p ~width ~length =
+  if width <= 0. || length <= 0. then invalid_arg "Mosfet.gate_load: dimensions must be positive";
+  Process.gate_capacitance_per_area p *. width *. length
+
+let minimum_gate_load p = gate_load p ~width:p.Process.feature_size ~length:p.Process.feature_size
+
+let scaled_inverter p ~pullup_squares =
+  if pullup_squares <= 0. then invalid_arg "Mosfet.scaled_inverter: pullup_squares must be positive";
+  let diffusion_contact =
+    Process.field_capacitance_per_area p *. (2. *. p.Process.feature_size *. p.Process.feature_size)
+  in
+  {
+    name = Printf.sprintf "inv-%gsq" pullup_squares;
+    on_resistance = channel_sheet_resistance p *. pullup_squares;
+    output_capacitance = 2. *. diffusion_contact;
+  }
+
+let input_elements (_ : Process.t) d =
+  (Rctree.Element.resistor d.on_resistance, d.output_capacitance)

@@ -1,0 +1,41 @@
+(** Transistor-level models used by the timing analysis.
+
+    The paper linearizes the driving inverter's pullup into a resistor
+    (Fig. 2) and lumps the driven gates into capacitors; this module
+    provides exactly those two abstractions. *)
+
+type driver = {
+  name : string;
+  on_resistance : float;  (** linearized pullup/driver resistance, Ω *)
+  output_capacitance : float;
+      (** parasitics at the driver output: source diffusion, contact
+          cuts (farads) *)
+}
+
+val driver : ?name:string -> on_resistance:float -> output_capacitance:float -> unit -> driver
+(** Raises [Invalid_argument] on negative values or zero resistance. *)
+
+val paper_superbuffer : driver
+(** The Section V driver: 378 Ω source resistance (the value in the
+    Fig. 12 listing; the prose rounds it to 380) and 0.04 pF output
+    capacitance. *)
+
+val scaled_inverter : Process.t -> pullup_squares:float -> driver
+(** A depletion-pullup inverter: on-resistance =
+    [effective channel sheet resistance × pullup_squares], with the
+    effective channel sheet resistance taken as 10 kΩ/sq in the default
+    process (scaling with poly sheet resistance across process
+    scaling), and output capacitance of two feature-sized diffusion
+    contacts.  A crude but serviceable model for examples that want a
+    weaker driver than the paper's superbuffer. *)
+
+val gate_load : Process.t -> width:float -> length:float -> float
+(** Gate capacitance of a transistor of the given drawn dimensions. *)
+
+val minimum_gate_load : Process.t -> float
+(** Gate capacitance of a feature-size square transistor — 0.0134 pF in
+    the paper's process. *)
+
+val input_elements : Process.t -> driver -> Rctree.Element.t * float
+(** [(series resistance element, lumped output capacitance)] — the pair
+    to install at the root of a net's RC tree. *)

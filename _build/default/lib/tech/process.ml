@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  feature_size : float;
+  poly_sheet_resistance : float;
+  metal_sheet_resistance : float;
+  diffusion_sheet_resistance : float;
+  gate_oxide_thickness : float;
+  field_oxide_thickness : float;
+  oxide_relative_permittivity : float;
+}
+
+let vacuum_permittivity = 8.8541878128e-12
+let micron = 1e-6
+let angstrom = 1e-10
+
+let default_4um =
+  {
+    name = "nmos-4um";
+    feature_size = 4. *. micron;
+    poly_sheet_resistance = 30.;
+    metal_sheet_resistance = 0.05;
+    diffusion_sheet_resistance = 10.;
+    gate_oxide_thickness = 400. *. angstrom;
+    field_oxide_thickness = 3000. *. angstrom;
+    oxide_relative_permittivity = 3.8;
+  }
+
+let oxide_capacitance_per_area t thickness =
+  t.oxide_relative_permittivity *. vacuum_permittivity /. thickness
+
+let gate_capacitance_per_area t = oxide_capacitance_per_area t t.gate_oxide_thickness
+let field_capacitance_per_area t = oxide_capacitance_per_area t t.field_oxide_thickness
+
+let scale t ~factor =
+  if factor <= 0. then invalid_arg "Process.scale: factor must be positive";
+  {
+    t with
+    name = Printf.sprintf "%s-x%g" t.name factor;
+    feature_size = t.feature_size *. factor;
+    gate_oxide_thickness = t.gate_oxide_thickness *. factor;
+    field_oxide_thickness = t.field_oxide_thickness *. factor;
+    poly_sheet_resistance = t.poly_sheet_resistance /. factor;
+    metal_sheet_resistance = t.metal_sheet_resistance /. factor;
+    diffusion_sheet_resistance = t.diffusion_sheet_resistance /. factor;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>process %s:@,  feature %gum, poly %g ohm/sq, gate ox %gA, field ox %gA@]"
+    t.name
+    (t.feature_size /. micron)
+    t.poly_sheet_resistance
+    (t.gate_oxide_thickness /. angstrom)
+    (t.field_oxide_thickness /. angstrom)

@@ -1,0 +1,47 @@
+(** MOS process parameters (Section V of the paper).
+
+    All values in SI units: metres, ohms per square, farads.  The
+    default process is the paper's 4-micron NMOS technology: 30 Ω/sq
+    polysilicon, 400 Å gate oxide, 3000 Å field oxide.  With the oxide
+    permittivity set to [3.8·ε0] these reproduce the paper's element
+    values to three digits: 0.0134 pF per 4×4 µm gate, 0.0107 pF and
+    180 Ω per 24×4 µm poly wire segment. *)
+
+type t = {
+  name : string;
+  feature_size : float;  (** minimum feature, metres *)
+  poly_sheet_resistance : float;  (** Ω/sq *)
+  metal_sheet_resistance : float;  (** Ω/sq *)
+  diffusion_sheet_resistance : float;  (** Ω/sq *)
+  gate_oxide_thickness : float;  (** metres *)
+  field_oxide_thickness : float;  (** metres *)
+  oxide_relative_permittivity : float;
+}
+
+val vacuum_permittivity : float
+(** ε0, F/m. *)
+
+val default_4um : t
+(** The paper's process. *)
+
+val micron : float
+(** 1e-6 m, for readable geometry literals. *)
+
+val angstrom : float
+(** 1e-10 m. *)
+
+val gate_capacitance_per_area : t -> float
+(** F/m² over thin (gate) oxide. *)
+
+val field_capacitance_per_area : t -> float
+(** F/m² over field oxide — wiring capacitance. *)
+
+val scale : t -> factor:float -> t
+(** Constant-field scaling of lateral and vertical dimensions by
+    [factor < 1]: feature size and oxide thicknesses shrink by
+    [factor]; sheet resistances grow by [1/factor] (thinner films).
+    The paper's closing remark — the technique matters more as feature
+    size decreases — is quantified with this in the PLA example.
+    Raises [Invalid_argument] unless [factor > 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+type leg = { segments : Wire.segment list; ends : terminal }
+and terminal = Sink of { name : string; load : float } | Branch of leg list
+
+let sink ?(load = 0.) name segments =
+  if load < 0. then invalid_arg "Route.sink: negative load";
+  { segments; ends = Sink { name; load } }
+
+let branch segments legs = { segments; ends = Branch legs }
+
+type t = { driver : Mosfet.driver; route : leg list }
+
+let rec leg_sinks { ends; _ } =
+  match ends with
+  | Sink { name; _ } -> [ name ]
+  | Branch legs -> List.concat_map leg_sinks legs
+
+let sink_names { route; _ } = List.concat_map leg_sinks route
+
+let make ~driver route =
+  let names = List.concat_map leg_sinks route in
+  if names = [] then invalid_arg "Route.make: route has no sinks";
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Route.make: duplicate sink name";
+  { driver; route }
+
+let via_resistance = 0.5
+
+let to_tree ?(name = "routed-net") process { driver; route } =
+  let b = Rctree.Tree.Builder.create ~name () in
+  let root =
+    Rctree.Tree.Builder.add_resistor b
+      ~parent:(Rctree.Tree.Builder.input b)
+      ~name:"drv" driver.Mosfet.on_resistance
+  in
+  Rctree.Tree.Builder.add_capacitance b root driver.Mosfet.output_capacitance;
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  (* lay one leg's segments from [at]; vias between layer changes *)
+  let run_segments at segments =
+    let _, last =
+      List.fold_left
+        (fun (prev_layer, at) seg ->
+          let at =
+            match prev_layer with
+            | Some layer when layer <> seg.Wire.layer ->
+                Rctree.Tree.Builder.add_resistor b ~parent:at ~name:(fresh "via") via_resistance
+            | Some _ | None -> at
+          in
+          let elem = Wire.to_element process seg in
+          let at =
+            match elem with
+            | Rctree.Element.Capacitor c ->
+                Rctree.Tree.Builder.add_capacitance b at c;
+                at
+            | Rctree.Element.Resistor _ | Rctree.Element.Line _ ->
+                Rctree.Tree.Builder.add_line b ~parent:at ~name:(fresh "w")
+                  (Rctree.Element.resistance elem)
+                  (Rctree.Element.capacitance elem)
+          in
+          (Some seg.Wire.layer, at))
+        (None, at) segments
+    in
+    last
+  in
+  let rec lay at { segments; ends } =
+    let endpoint = run_segments at segments in
+    match ends with
+    | Sink { name; load } ->
+        Rctree.Tree.Builder.add_capacitance b endpoint load;
+        Rctree.Tree.Builder.mark_output b ~label:name endpoint
+    | Branch legs -> List.iter (lay endpoint) legs
+  in
+  List.iter (lay root) route;
+  Rctree.Tree.Builder.finish b
+
+let total_wire_capacitance process { route; _ } =
+  let rec leg_cap { segments; ends } =
+    let here =
+      List.fold_left (fun acc seg -> acc +. Wire.capacitance process seg) 0. segments
+    in
+    match ends with
+    | Sink _ -> here
+    | Branch legs -> here +. List.fold_left (fun acc l -> acc +. leg_cap l) 0. legs
+  in
+  List.fold_left (fun acc l -> acc +. leg_cap l) 0. route

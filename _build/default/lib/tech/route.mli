@@ -1,0 +1,47 @@
+(** Routed-net geometry → RC tree.
+
+    The examples so far built their trees element by element; a layout
+    tool thinks in *routes*: a trunk leaving the driver, branch points,
+    layer changes, sinks.  This module turns such a description into an
+    {!Rctree.Tree} using the process extraction rules of {!Wire}.
+
+    A route is a tree of legs.  Each leg is a run of segments on given
+    layers; it ends either at a named sink (with a load capacitance) or
+    at a branch point where further legs attach.  Vias between layers
+    add a fixed contact resistance. *)
+
+type leg = {
+  segments : Wire.segment list;  (** in order from the near end *)
+  ends : terminal;
+}
+
+and terminal =
+  | Sink of { name : string; load : float }
+      (** a driven gate: marked as an output, its capacitance attached *)
+  | Branch of leg list  (** a branch point fanning into further legs *)
+
+val sink : ?load:float -> string -> Wire.segment list -> leg
+(** Leaf leg; default load 0. *)
+
+val branch : Wire.segment list -> leg list -> leg
+
+type t = {
+  driver : Mosfet.driver;
+  route : leg list;  (** the legs leaving the driver output *)
+}
+
+val make : driver:Mosfet.driver -> leg list -> t
+(** Raises [Invalid_argument] when a sink name repeats or no sink
+    exists. *)
+
+val via_resistance : float
+(** Contact resistance inserted at each layer change within a leg
+    (0.5 Ω — a typical metal-poly contact). *)
+
+val to_tree : ?name:string -> Process.t -> t -> Rctree.Tree.t
+(** Sinks become outputs labelled with their names. *)
+
+val total_wire_capacitance : Process.t -> t -> float
+
+val sink_names : t -> string list
+(** In route order. *)

@@ -1,0 +1,25 @@
+type layer = Poly | Metal | Diffusion
+
+type segment = { layer : layer; length : float; width : float }
+
+let segment ~layer ~length ~width =
+  if width <= 0. then invalid_arg "Wire.segment: width must be positive";
+  if length < 0. then invalid_arg "Wire.segment: negative length";
+  { layer; length; width }
+
+let sheet_resistance (p : Process.t) = function
+  | Poly -> p.poly_sheet_resistance
+  | Metal -> p.metal_sheet_resistance
+  | Diffusion -> p.diffusion_sheet_resistance
+
+let squares s = s.length /. s.width
+
+let resistance p s = sheet_resistance p s.layer *. squares s
+
+let capacitance p s = Process.field_capacitance_per_area p *. s.length *. s.width
+
+let to_element ?(neglect_metal_resistance = true) p s =
+  match s.layer with
+  | Metal when neglect_metal_resistance -> Rctree.Element.capacitor (capacitance p s)
+  | Metal | Poly | Diffusion ->
+      Rctree.Element.line ~resistance:(resistance p s) ~capacitance:(capacitance p s)

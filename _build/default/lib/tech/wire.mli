@@ -1,0 +1,34 @@
+(** Interconnect geometry → electrical values.
+
+    A wire segment on some layer turns into either a distributed RC
+    line (poly, diffusion — resistance matters) or a lumped capacitance
+    (metal — the paper neglects metal resistance but keeps its
+    capacitance). *)
+
+type layer = Poly | Metal | Diffusion
+
+type segment = {
+  layer : layer;
+  length : float;  (** metres *)
+  width : float;  (** metres *)
+}
+
+val segment : layer:layer -> length:float -> width:float -> segment
+(** Raises [Invalid_argument] on non-positive width or negative
+    length. *)
+
+val sheet_resistance : Process.t -> layer -> float
+
+val resistance : Process.t -> segment -> float
+(** [sheet × length/width]. *)
+
+val capacitance : Process.t -> segment -> float
+(** Area capacitance over field oxide. *)
+
+val to_element : ?neglect_metal_resistance:bool -> Process.t -> segment -> Rctree.Element.t
+(** The RC-tree element modelling the segment.  With
+    [neglect_metal_resistance] (default [true], as in the paper's
+    Fig. 2) metal becomes a pure capacitor. *)
+
+val squares : segment -> float
+(** length/width. *)

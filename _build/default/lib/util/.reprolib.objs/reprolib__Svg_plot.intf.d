@@ -1,0 +1,1 @@
+lib/util/svg_plot.mli:

@@ -1,0 +1,134 @@
+type series = { label : string; points : (float * float) list; dashed : bool }
+
+let series ?(dashed = false) ~label points =
+  if points = [] then invalid_arg "Svg_plot.series: empty point list";
+  List.iter
+    (fun (x, y) ->
+      if not (Float.is_finite x && Float.is_finite y) then
+        invalid_arg "Svg_plot.series: non-finite coordinate")
+    points;
+  { label; points; dashed }
+
+let palette = [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let nice_ticks lo hi =
+  (* about five round ticks across [lo, hi] *)
+  if hi <= lo then [ lo ]
+  else begin
+    let span = hi -. lo in
+    let raw_step = span /. 4. in
+    let magnitude = 10. ** Float.floor (log10 raw_step) in
+    let step =
+      let r = raw_step /. magnitude in
+      magnitude *. (if r < 1.5 then 1. else if r < 3.5 then 2. else if r < 7.5 then 5. else 10.)
+    in
+    let first = Float.ceil (lo /. step) *. step in
+    let rec go x acc = if x > hi +. (0.001 *. step) then List.rev acc else go (x +. step) (x :: acc) in
+    go first []
+  end
+
+let log_ticks lo hi =
+  let rec go e acc =
+    let v = 10. ** float_of_int e in
+    if v > hi *. 1.001 then List.rev acc else go (e + 1) (if v >= lo *. 0.999 then v :: acc else acc)
+  in
+  go (int_of_float (Float.floor (log10 lo))) []
+
+let fmt_tick v =
+  if v = 0. then "0"
+  else if Float.abs v >= 0.01 && Float.abs v < 10000. then Printf.sprintf "%.4g" v
+  else Printf.sprintf "%.0e" v
+
+let render ?(width = 640) ?(height = 420) ?(log_x = false) ?(log_y = false) ~title ~x_label
+    ~y_label series_list =
+  if series_list = [] then invalid_arg "Svg_plot.render: no series";
+  let all_points = List.concat_map (fun s -> s.points) series_list in
+  List.iter
+    (fun (x, y) ->
+      if (log_x && x <= 0.) || (log_y && y <= 0.) then
+        invalid_arg "Svg_plot.render: non-positive coordinate on a log axis")
+    all_points;
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let min_l = List.fold_left Float.min infinity and max_l = List.fold_left Float.max neg_infinity in
+  let x_lo = min_l xs and x_hi = max_l xs and y_lo = min_l ys and y_hi = max_l ys in
+  (* pad degenerate ranges *)
+  let pad lo hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+  let x_lo, x_hi = pad x_lo x_hi and y_lo, y_hi = pad y_lo y_hi in
+  let ml = 70 and mr = 20 and mt = 40 and mb = 55 in
+  let plot_w = float_of_int (width - ml - mr) and plot_h = float_of_int (height - mt - mb) in
+  let tx x =
+    let f =
+      if log_x then (log x -. log x_lo) /. (log x_hi -. log x_lo) else (x -. x_lo) /. (x_hi -. x_lo)
+    in
+    float_of_int ml +. (f *. plot_w)
+  in
+  let ty y =
+    let f =
+      if log_y then (log y -. log y_lo) /. (log y_hi -. log y_lo) else (y -. y_lo) /. (y_hi -. y_lo)
+    in
+    float_of_int mt +. ((1. -. f) *. plot_h)
+  in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" \
+     font-family=\"sans-serif\" font-size=\"12\">\n"
+    width height width height;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  out "<text x=\"%d\" y=\"22\" font-size=\"15\" text-anchor=\"middle\">%s</text>\n" (width / 2)
+    title;
+  (* frame *)
+  out
+    "<rect x=\"%d\" y=\"%d\" width=\"%.0f\" height=\"%.0f\" fill=\"none\" stroke=\"#333\"/>\n" ml
+    mt plot_w plot_h;
+  (* ticks *)
+  let x_ticks = if log_x then log_ticks x_lo x_hi else nice_ticks x_lo x_hi in
+  let y_ticks = if log_y then log_ticks y_lo y_hi else nice_ticks y_lo y_hi in
+  List.iter
+    (fun v ->
+      let x = tx v in
+      out "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#ccc\"/>\n" x mt x
+        (height - mb);
+      out "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%s</text>\n" x (height - mb + 18)
+        (fmt_tick v))
+    x_ticks;
+  List.iter
+    (fun v ->
+      let y = ty v in
+      out "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ccc\"/>\n" ml y
+        (width - mr) y;
+      out "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\" dy=\"4\">%s</text>\n" (ml - 6) y
+        (fmt_tick v))
+    y_ticks;
+  (* axis labels *)
+  out "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">%s</text>\n" (width / 2) (height - 12)
+    x_label;
+  out
+    "<text x=\"16\" y=\"%d\" text-anchor=\"middle\" transform=\"rotate(-90 16 %d)\">%s</text>\n"
+    (height / 2) (height / 2) y_label;
+  (* series *)
+  List.iteri
+    (fun i s ->
+      let colour = palette.(i mod Array.length palette) in
+      let coords =
+        String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%.2f,%.2f" (tx x) (ty y)) s.points)
+      in
+      out "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.8\"%s/>\n" coords
+        colour
+        (if s.dashed then " stroke-dasharray=\"6 4\"" else "");
+      (* legend entry *)
+      let ly = mt + 8 + (i * 18) in
+      out "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" stroke-width=\"1.8\"%s/>\n"
+        (width - mr - 130) ly
+        (width - mr - 104)
+        ly colour
+        (if s.dashed then " stroke-dasharray=\"6 4\"" else "");
+      out "<text x=\"%d\" y=\"%d\" dy=\"4\">%s</text>\n" (width - mr - 98) ly s.label)
+    series_list;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file ?width ?height ?log_x ?log_y ~title ~x_label ~y_label path series_list =
+  let oc = open_out path in
+  output_string oc (render ?width ?height ?log_x ?log_y ~title ~x_label ~y_label series_list);
+  close_out oc

@@ -1,0 +1,41 @@
+(** Minimal dependency-free SVG line charts.
+
+    Enough to regenerate the paper's figures as actual plots (Fig. 5,
+    11, 13): multiple series, linear or logarithmic axes, ticks,
+    legend.  Output is a standalone [.svg] string. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+  dashed : bool;
+}
+
+val series : ?dashed:bool -> label:string -> (float * float) list -> series
+(** Raises [Invalid_argument] on an empty point list or non-finite
+    coordinates. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Raises [Invalid_argument] on an empty series list, or when a
+    logarithmic axis receives a non-positive coordinate.  Default
+    canvas 640×420. *)
+
+val write_file :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  string ->
+  series list ->
+  unit

@@ -1,0 +1,56 @@
+type t = { columns : string list; mutable rows : string list list (* reverse order *) }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" (List.length row)
+         (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let add_float_row ?(fmt = Printf.sprintf "%.6g") t label values =
+  add_row t (label :: List.map fmt values)
+
+let looks_numeric cell =
+  cell <> ""
+  && String.for_all (fun c -> match c with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false) cell
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let width j =
+    List.fold_left (fun acc row -> Int.max acc (String.length (List.nth row j))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_cell j cell =
+    let w = List.nth widths j in
+    if looks_numeric cell then Printf.sprintf "%*s" w cell else Printf.sprintf "%-*s" w cell
+  in
+  let render_row row = String.concat "  " (List.mapi render_cell row) in
+  let rule = String.concat "--" (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let render_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (line t.columns :: List.map line (List.rev t.rows)) ^ "\n"

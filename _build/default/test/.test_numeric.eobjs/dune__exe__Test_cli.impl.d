@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Cli Filename Fun List String Sys Unix

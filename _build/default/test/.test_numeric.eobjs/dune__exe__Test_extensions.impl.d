@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuit Float List Printf Rctree Tech

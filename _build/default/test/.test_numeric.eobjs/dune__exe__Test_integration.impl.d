@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Circuit Filename Float List Numeric Printf Rctree Result Spice Sta Sys Tech Unix

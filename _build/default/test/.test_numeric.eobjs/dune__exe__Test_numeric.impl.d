@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Cg Eigen Float List Lu Matrix Numeric Ode Random Sparse Vector

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Array Circuit Float List Numeric Printf Rctree Tech

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Char Circuit Expr Float Format Hashtbl List Numeric QCheck QCheck_alcotest Random Rctree Spice String Twoport

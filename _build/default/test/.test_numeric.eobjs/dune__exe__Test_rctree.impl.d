@@ -1,0 +1,1 @@
+test/test_rctree.ml: Alcotest Array Builder Float Hashtbl List Option Rctree

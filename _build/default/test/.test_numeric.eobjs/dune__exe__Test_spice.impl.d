@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Filename Format List Option Printf Rctree Result Spice String Sys Unix

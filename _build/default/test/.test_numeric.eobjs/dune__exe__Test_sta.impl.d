@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Filename Float Int List Rctree Sta String Sys Tech

@@ -1,0 +1,1 @@
+test/test_svg.ml: Alcotest Filename Float List Reprolib String Sys

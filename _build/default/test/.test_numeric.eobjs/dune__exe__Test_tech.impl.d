@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Circuit Float List Rctree Tech

@@ -1,0 +1,226 @@
+(* Tests of the delay/voltage bounds (eqs. 8-17) and the OK
+   certification, on hand-checkable networks. *)
+
+let check_close ?(eps = 1e-9) msg a b = Alcotest.(check (float eps)) msg a b
+let check_bool = Alcotest.(check bool)
+
+let check_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* the Fig. 7 characteristic times: the workhorse example *)
+let fig7 = Rctree.Expr.times Rctree.Expr.fig7
+
+(* a single-pole network: R = 100, C = 0.01, tau = 1; its bounds are
+   exact (t_min = t_max) *)
+let single_pole =
+  Rctree.Times.make ~t_p:1. ~t_d:1. ~t_r:1.
+
+let degenerate = Rctree.Times.make ~t_p:0. ~t_d:0. ~t_r:0.
+
+let voltage_tests =
+  let open Rctree.Bounds in
+  [
+    Alcotest.test_case "v_max at t=0" `Quick (fun () ->
+        (* both (8) and (9) give 1 - T_D/T_P at t = 0 *)
+        check_close "v" (1. -. (363. /. 419.)) (v_max fig7 0.));
+    Alcotest.test_case "v_min at t=0 is 0" `Quick (fun () -> check_close "v" 0. (v_min fig7 0.));
+    Alcotest.test_case "v_max eq.(8) regime" `Quick (fun () ->
+        (* small t: linear bound is the tighter one *)
+        check_close ~eps:1e-4 "v20" 0.18138 (v_max fig7 20.));
+    Alcotest.test_case "v_max eq.(9) regime" `Quick (fun () ->
+        (* large t: exponential bound takes over *)
+        let t = 2000. in
+        let expected = 1. -. (363. /. 419. *. exp (-.t /. (6033. /. 18.))) in
+        check_close "v" expected (v_max fig7 t));
+    Alcotest.test_case "v_min eq.(11) regime" `Quick (fun () ->
+        check_close ~eps:1e-4 "v100" 0.16644 (v_min fig7 100.));
+    Alcotest.test_case "v_min eq.(12) regime beyond T_P - T_R" `Quick (fun () ->
+        let t = 500. in
+        (* t > 419 - 335.2 = 83.8, so (12) applies and dominates late *)
+        let tr = 6033. /. 18. in
+        let e12 = 1. -. (363. /. 419. *. exp (-.(t -. 419. +. tr) /. 419.)) in
+        let e11 = 1. -. (363. /. (t +. tr)) in
+        check_close "v" (Float.max e11 e12) (v_min fig7 t));
+    Alcotest.test_case "v_min nondecreasing in t" `Quick (fun () ->
+        let ts = List.init 100 (fun i -> float_of_int i *. 13.) in
+        let vs = List.map (v_min fig7) ts in
+        check_bool "monotone" true
+          (List.for_all2 (fun a b -> a <= b +. 1e-12)
+             (List.filteri (fun i _ -> i < 99) vs)
+             (List.tl vs)));
+    Alcotest.test_case "v_max nondecreasing in t" `Quick (fun () ->
+        let ts = List.init 100 (fun i -> float_of_int i *. 13.) in
+        let vs = List.map (v_max fig7) ts in
+        check_bool "monotone" true
+          (List.for_all2 (fun a b -> a <= b +. 1e-12)
+             (List.filteri (fun i _ -> i < 99) vs)
+             (List.tl vs)));
+    Alcotest.test_case "v_min <= v_max everywhere" `Quick (fun () ->
+        List.iter
+          (fun t -> check_bool ("at " ^ string_of_float t) true (v_min fig7 t <= v_max fig7 t))
+          [ 0.; 1.; 50.; 100.; 363.; 1000.; 5000. ]);
+    Alcotest.test_case "bounds stay within [0,1]" `Quick (fun () ->
+        List.iter
+          (fun t ->
+            check_bool "min>=0" true (v_min fig7 t >= 0.);
+            check_bool "max<=1" true (v_max fig7 t <= 1.))
+          [ 0.; 10.; 100.; 1000.; 100000. ]);
+    Alcotest.test_case "both approach 1" `Quick (fun () ->
+        check_bool "min" true (v_min fig7 1e6 > 0.999);
+        check_bool "max" true (v_max fig7 1e6 > 0.999));
+    Alcotest.test_case "single pole: bounds touch the exact response" `Quick (fun () ->
+        (* v(t) = 1 - e^{-t}; with T_P = T_D = T_R = tau both (9) and
+           (12) reduce to it exactly *)
+        List.iter
+          (fun t ->
+            let v = 1. -. exp (-.t) in
+            check_close ~eps:1e-12 "upper" v (v_max single_pole t);
+            check_close ~eps:1e-12 "lower" v (v_min single_pole t))
+          [ 0.5; 1.; 2.; 5. ]);
+    Alcotest.test_case "degenerate network responds instantly" `Quick (fun () ->
+        check_close "vmin" 1. (v_min degenerate 0.);
+        check_close "vmax" 1. (v_max degenerate 10.));
+    Alcotest.test_case "negative time raises" `Quick (fun () ->
+        check_invalid "vmin" (fun () -> v_min fig7 (-1.));
+        check_invalid "vmax" (fun () -> v_max fig7 (-1.)));
+    Alcotest.test_case "elmore bound is weaker" `Quick (fun () ->
+        List.iter
+          (fun t ->
+            check_bool "weaker" true (elmore_v_min fig7 t <= v_min fig7 t +. 1e-12))
+          [ 10.; 100.; 400.; 1000. ]);
+    Alcotest.test_case "elmore bound eq.(4) value" `Quick (fun () ->
+        check_close "v" (1. -. (363. /. 726.)) (elmore_v_min fig7 726.));
+  ]
+
+let time_tests =
+  let open Rctree.Bounds in
+  [
+    Alcotest.test_case "t_min at v=0 is 0" `Quick (fun () -> check_close "t" 0. (t_min fig7 0.));
+    Alcotest.test_case "t_max at v=0" `Quick (fun () ->
+        (* eq.(16) at v=0: T_D - T_R *)
+        check_close "t" (363. -. (6033. /. 18.)) (t_max fig7 0.));
+    Alcotest.test_case "t_min <= t_max across thresholds" `Quick (fun () ->
+        List.iter
+          (fun v -> check_bool ("at " ^ string_of_float v) true (t_min fig7 v <= t_max fig7 v))
+          [ 0.; 0.1; 0.3; 0.5; 0.7; 0.9; 0.99 ]);
+    Alcotest.test_case "both nondecreasing in v" `Quick (fun () ->
+        let vs = List.init 98 (fun i -> float_of_int (i + 1) /. 100.) in
+        List.iter2
+          (fun v v' ->
+            check_bool "tmin" true (t_min fig7 v <= t_min fig7 v' +. 1e-9);
+            check_bool "tmax" true (t_max fig7 v <= t_max fig7 v' +. 1e-9))
+          (List.filteri (fun i _ -> i < 97) vs)
+          (List.tl vs));
+    Alcotest.test_case "inverse consistency: v_max(t_min v) >= v" `Quick (fun () ->
+        (* at the earliest possible crossing the upper voltage bound
+           must already allow the threshold *)
+        List.iter
+          (fun v -> check_bool "consistent" true (v_max fig7 (t_min fig7 v) +. 1e-9 >= v))
+          [ 0.1; 0.3; 0.5; 0.7; 0.9 ]);
+    Alcotest.test_case "inverse consistency: v_min(t_max v) >= v" `Quick (fun () ->
+        (* by t_max the response is guaranteed at the threshold *)
+        List.iter
+          (fun v -> check_bool "consistent" true (v_min fig7 (t_max fig7 v) +. 1e-9 >= v))
+          [ 0.1; 0.3; 0.5; 0.7; 0.9 ]);
+    Alcotest.test_case "single pole: t_min = t_max = tau ln(1/(1-v))" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let expected = log (1. /. (1. -. v)) in
+            check_close ~eps:1e-12 "tmin" expected (t_min single_pole v);
+            check_close ~eps:1e-12 "tmax" expected (t_max single_pole v))
+          [ 0.1; 0.5; 0.9 ]);
+    Alcotest.test_case "degenerate network: zero delay" `Quick (fun () ->
+        check_close "tmin" 0. (t_min degenerate 0.5);
+        check_close "tmax" 0. (t_max degenerate 0.5));
+    Alcotest.test_case "threshold domain enforced" `Quick (fun () ->
+        check_invalid "v=1" (fun () -> t_min fig7 1.);
+        check_invalid "v<0" (fun () -> t_max fig7 (-0.1));
+        check_invalid "v>1" (fun () -> t_min fig7 1.5));
+  ]
+
+let certify_tests =
+  let open Rctree.Bounds in
+  [
+    Alcotest.test_case "pass beyond t_max" `Quick (fun () ->
+        check_bool "pass" true (equal_verdict Pass (certify fig7 ~threshold:0.5 ~deadline:315.)));
+    Alcotest.test_case "fail before t_min" `Quick (fun () ->
+        check_bool "fail" true (equal_verdict Fail (certify fig7 ~threshold:0.5 ~deadline:100.)));
+    Alcotest.test_case "unknown in between" `Quick (fun () ->
+        check_bool "unknown" true
+          (equal_verdict Unknown (certify fig7 ~threshold:0.5 ~deadline:250.)));
+    Alcotest.test_case "boundary: deadline = t_max passes" `Quick (fun () ->
+        let d = t_max fig7 0.5 in
+        check_bool "pass" true (equal_verdict Pass (certify fig7 ~threshold:0.5 ~deadline:d)));
+    Alcotest.test_case "boundary: deadline = t_min is unknown" `Quick (fun () ->
+        let d = t_min fig7 0.5 in
+        check_bool "unknown" true (equal_verdict Unknown (certify fig7 ~threshold:0.5 ~deadline:d)));
+    Alcotest.test_case "degenerate always passes" `Quick (fun () ->
+        check_bool "pass" true (equal_verdict Pass (certify degenerate ~threshold:0.9 ~deadline:0.)));
+    Alcotest.test_case "invalid arguments raise" `Quick (fun () ->
+        check_invalid "threshold" (fun () -> certify fig7 ~threshold:1. ~deadline:1.);
+        check_invalid "deadline" (fun () -> certify fig7 ~threshold:0.5 ~deadline:(-1.)));
+    Alcotest.test_case "verdict printing" `Quick (fun () ->
+        Alcotest.(check string) "pass" "pass" (verdict_to_string Pass);
+        Alcotest.(check string) "fail" "fail" (verdict_to_string Fail);
+        Alcotest.(check string) "unknown" "unknown" (verdict_to_string Unknown));
+  ]
+
+(* --- Transition (falling edges, slew) --------------------------------- *)
+
+let transition_tests =
+  let open Rctree.Transition in
+  [
+    Alcotest.test_case "rising matches Bounds directly" `Quick (fun () ->
+        let lo, hi = delay_bounds fig7 Rising ~threshold:0.5 in
+        check_close "lo" (Rctree.Bounds.t_min fig7 0.5) lo;
+        check_close "hi" (Rctree.Bounds.t_max fig7 0.5) hi);
+    Alcotest.test_case "falling mirrors the threshold" `Quick (fun () ->
+        (* dropping to 30% is the rising response reaching 70% *)
+        let lo, hi = delay_bounds fig7 Falling ~threshold:0.3 in
+        check_close "lo" (Rctree.Bounds.t_min fig7 0.7) lo;
+        check_close "hi" (Rctree.Bounds.t_max fig7 0.7) hi);
+    Alcotest.test_case "falling voltage bounds reflect and swap" `Quick (fun () ->
+        let t = 100. in
+        let lo, hi = voltage_bounds fig7 Falling t in
+        check_close "lo" (1. -. Rctree.Bounds.v_max fig7 t) lo;
+        check_close "hi" (1. -. Rctree.Bounds.v_min fig7 t) hi;
+        check_bool "ordered" true (lo <= hi));
+    Alcotest.test_case "falling output starts at 1" `Quick (fun () ->
+        let lo, hi = voltage_bounds fig7 Falling 0. in
+        check_bool "high" true (hi = 1. && lo >= 0.8));
+    Alcotest.test_case "slew window ordering" `Quick (fun () ->
+        let fast, slow = slew_bounds fig7 Rising ~low:0.1 ~high:0.9 in
+        check_bool "ordered" true (0. <= fast && fast <= slow));
+    Alcotest.test_case "slew symmetric between polarities" `Quick (fun () ->
+        (* the network is linear: 10-90 rising slew = 90-10 falling slew *)
+        let fr, sr = slew_bounds fig7 Rising ~low:0.1 ~high:0.9 in
+        let ff, sf = slew_bounds fig7 Falling ~low:0.1 ~high:0.9 in
+        check_close "fast" fr ff;
+        check_close "slow" sr sf);
+    Alcotest.test_case "slew of a single pole is exact" `Quick (fun () ->
+        let fast, slow = slew_bounds single_pole Rising ~low:0.1 ~high:0.9 in
+        let expected = log (0.9 /. 0.1) in
+        check_close ~eps:1e-9 "fast" expected fast;
+        check_close ~eps:1e-9 "slow" expected slow);
+    Alcotest.test_case "slew validation" `Quick (fun () ->
+        check_invalid "order" (fun () -> slew_bounds fig7 Rising ~low:0.9 ~high:0.1);
+        check_invalid "range" (fun () -> slew_bounds fig7 Rising ~low:0.1 ~high:1.));
+    Alcotest.test_case "falling certify" `Quick (fun () ->
+        (* fig7 falls to 50% within [184.2, 314.1] too, by symmetry *)
+        check_bool "pass" true
+          (Rctree.Bounds.equal_verdict Rctree.Bounds.Pass
+             (certify fig7 Falling ~threshold:0.5 ~deadline:315.)));
+    Alcotest.test_case "falling threshold domain" `Quick (fun () ->
+        check_invalid "zero" (fun () -> delay_bounds fig7 Falling ~threshold:0.));
+  ]
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ("voltage", voltage_tests);
+      ("time", time_tests);
+      ("certify", certify_tests);
+      ("transition", transition_tests);
+    ]

@@ -1,0 +1,323 @@
+(* Tests of the circuit-simulation substrate: waveforms, nodal
+   stamping, exact eigendecomposition responses, transient integration
+   and the paper-level measurements. *)
+
+let check_close ?(eps = 1e-9) msg a b = Alcotest.(check (float eps)) msg a b
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* single pole: input -R- node with C; R = 1k, C = 1n -> tau = 1e-6 *)
+let single_pole () =
+  let open Rctree.Tree.Builder in
+  let b = create ~name:"pole" () in
+  let n = add_resistor b ~parent:(input b) ~name:"out" 1000. in
+  add_capacitance b n 1e-9;
+  mark_output b ~label:"out" n;
+  finish b
+
+(* two-pole ladder: R1=1, C1=1, R2=1, C2=1 (normalized units) *)
+let ladder2 () =
+  let open Rctree.Tree.Builder in
+  let b = create ~name:"ladder" () in
+  let n1 = add_resistor b ~parent:(input b) ~name:"n1" 1. in
+  add_capacitance b n1 1.;
+  let n2 = add_resistor b ~parent:n1 ~name:"n2" 1. in
+  add_capacitance b n2 1.;
+  mark_output b ~label:"out" n2;
+  finish b
+
+let fig7_tree () = Rctree.Convert.tree_of_expr Rctree.Expr.fig7
+
+let waveform_tests =
+  let open Circuit.Waveform in
+  let w () = create ~times:[| 0.; 1.; 2. |] ~values:[| 0.; 0.5; 1. |] in
+  [
+    Alcotest.test_case "value_at interpolates" `Quick (fun () ->
+        check_close "v" 0.25 (value_at (w ()) 0.5));
+    Alcotest.test_case "length and range" `Quick (fun () ->
+        check_int "n" 3 (length (w ()));
+        check_close "start" 0. (start_time (w ()));
+        check_close "end" 2. (end_time (w ())));
+    Alcotest.test_case "final_value" `Quick (fun () -> check_close "v" 1. (final_value (w ())));
+    Alcotest.test_case "crossing_time" `Quick (fun () ->
+        check_bool "found" true (crossing_time (w ()) ~threshold:0.25 = Some 0.5);
+        check_bool "unreachable" true (crossing_time (w ()) ~threshold:2. = None));
+    Alcotest.test_case "area_above" `Quick (fun () ->
+        (* final 1, above a straight ramp 0->1 over [0,2]: area = 1 *)
+        check_close "area" 1. (area_above (w ()) ~final:1.));
+    Alcotest.test_case "map_values" `Quick (fun () ->
+        check_close "v" 0.5 (value_at (map_values (fun v -> v *. 2.) (w ())) 0.5));
+    Alcotest.test_case "resample" `Quick (fun () ->
+        let r = resample (w ()) ~times:[| 0.5; 1.5 |] in
+        check_int "n" 2 (length r);
+        check_close "v" 0.25 (value_at r 0.5));
+    Alcotest.test_case "arrays are copied" `Quick (fun () ->
+        let times = [| 0.; 1. |] and values = [| 0.; 1. |] in
+        let w = create ~times ~values in
+        times.(0) <- 99.;
+        check_close "protected" 0. (start_time w));
+    Alcotest.test_case "bad inputs raise" `Quick (fun () ->
+        check_invalid "mismatch" (fun () -> create ~times:[| 0. |] ~values:[| 1.; 2. |]);
+        check_invalid "empty" (fun () -> create ~times:[||] ~values:[||]);
+        check_invalid "order" (fun () -> create ~times:[| 1.; 0. |] ~values:[| 0.; 1. |]));
+    Alcotest.test_case "of_samples" `Quick (fun () ->
+        check_close "v" 5. (value_at (of_samples [ (0., 0.); (1., 10.) ]) 0.5));
+  ]
+
+let mna_tests =
+  let open Circuit.Mna in
+  [
+    Alcotest.test_case "single pole stamping" `Quick (fun () ->
+        let sys = of_tree (single_pole ()) in
+        check_int "rows" 1 (Numeric.Matrix.rows sys.g);
+        check_close "g" 1e-3 (Numeric.Matrix.get sys.g 0 0);
+        check_close "b" 1e-3 sys.b.(0);
+        check_close "c" 1e-9 sys.c.(0));
+    Alcotest.test_case "ladder stamping is symmetric" `Quick (fun () ->
+        let sys = of_tree (ladder2 ()) in
+        check_bool "sym" true (Numeric.Matrix.is_symmetric sys.g);
+        check_close "coupling" (-1.) (Numeric.Matrix.get sys.g 0 1));
+    Alcotest.test_case "row maps are inverse" `Quick (fun () ->
+        let tree = ladder2 () in
+        let sys = of_tree tree in
+        Array.iteri
+          (fun row node -> check_int "inverse" row sys.row_of_node.(node))
+          sys.node_of_row;
+        check_int "input excluded" (-1) sys.row_of_node.(Rctree.Tree.input tree));
+    Alcotest.test_case "dc solution is all ones" `Quick (fun () ->
+        let sys = of_tree (ladder2 ()) in
+        Array.iter (fun v -> check_close ~eps:1e-12 "1V" 1. v) (dc_solution sys));
+    Alcotest.test_case "distributed lines rejected" `Quick (fun () ->
+        check_invalid "line" (fun () -> of_tree (fig7_tree ())));
+    Alcotest.test_case "zero-resistance edge rejected" `Quick (fun () ->
+        let b = Rctree.Tree.Builder.create () in
+        let n = Rctree.Tree.Builder.add_resistor b ~parent:(Rctree.Tree.Builder.input b) 0. in
+        Rctree.Tree.Builder.add_capacitance b n 1.;
+        check_invalid "r=0" (fun () -> of_tree (Rctree.Tree.Builder.finish b)));
+    Alcotest.test_case "cap floor fills empty nodes" `Quick (fun () ->
+        let b = Rctree.Tree.Builder.create () in
+        let n1 = Rctree.Tree.Builder.add_resistor b ~parent:(Rctree.Tree.Builder.input b) 1. in
+        let n2 = Rctree.Tree.Builder.add_resistor b ~parent:n1 1. in
+        Rctree.Tree.Builder.add_capacitance b n2 1.;
+        let sys = of_tree (Rctree.Tree.Builder.finish b) in
+        Array.iter (fun c -> check_bool "positive" true (c > 0.)) sys.c);
+    Alcotest.test_case "explicit cap floor respected" `Quick (fun () ->
+        let sys = of_tree ~cap_floor:0.5 (ladder2 ()) in
+        Array.iter (fun c -> check_bool ">=0.5" true (c >= 0.5)) sys.c);
+  ]
+
+let exact_tests =
+  let open Circuit.Exact in
+  [
+    Alcotest.test_case "single pole: one pole at 1/RC" `Quick (fun () ->
+        let r = of_tree (single_pole ()) in
+        check_int "n" 1 (Array.length (poles r));
+        check_close ~eps:1. "lambda" 1e6 (poles r).(0);
+        check_close ~eps:1e-12 "tau" 1e-6 (dominant_time_constant r));
+    Alcotest.test_case "single pole matches 1 - e^{-t/tau}" `Quick (fun () ->
+        let tree = single_pole () in
+        let r = of_tree tree in
+        let node = Rctree.Tree.output_named tree "out" in
+        List.iter
+          (fun t ->
+            check_close ~eps:1e-9 "v" (1. -. exp (-.t /. 1e-6)) (voltage r ~node t))
+          [ 0.; 2e-7; 1e-6; 5e-6 ]);
+    Alcotest.test_case "ladder known eigenvalues" `Quick (fun () ->
+        (* G = [[2,-1],[-1,1]], C = I: poles (3 +- sqrt5)/2 *)
+        let r = of_tree (ladder2 ()) in
+        let s5 = sqrt 5. in
+        check_close ~eps:1e-9 "l0" ((3. -. s5) /. 2.) (poles r).(0);
+        check_close ~eps:1e-9 "l1" ((3. +. s5) /. 2.) (poles r).(1));
+    Alcotest.test_case "input node reads 1" `Quick (fun () ->
+        let tree = single_pole () in
+        let r = of_tree tree in
+        check_close "v" 1. (voltage r ~node:(Rctree.Tree.input tree) 0.5));
+    Alcotest.test_case "response is monotone" `Quick (fun () ->
+        let tree = ladder2 () in
+        let r = of_tree tree in
+        let node = Rctree.Tree.output_named tree "out" in
+        let prev = ref (-1.) in
+        for i = 0 to 100 do
+          let v = voltage r ~node (float_of_int i *. 0.1) in
+          check_bool "nondecreasing" true (v >= !prev);
+          prev := v
+        done);
+    Alcotest.test_case "delay agrees with analytic inverse" `Quick (fun () ->
+        let tree = single_pole () in
+        let r = of_tree tree in
+        let node = Rctree.Tree.output_named tree "out" in
+        check_close ~eps:1e-12 "t50" (1e-6 *. log 2.) (delay r ~node ~threshold:0.5));
+    Alcotest.test_case "delay at input is zero" `Quick (fun () ->
+        let tree = single_pole () in
+        let r = of_tree tree in
+        check_close "t" 0. (delay r ~node:(Rctree.Tree.input tree) ~threshold:0.99));
+    Alcotest.test_case "bad threshold raises" `Quick (fun () ->
+        let tree = single_pole () in
+        let r = of_tree tree in
+        let node = Rctree.Tree.output_named tree "out" in
+        check_invalid "v=1" (fun () -> delay r ~node ~threshold:1.));
+    Alcotest.test_case "area above response equals Elmore delay" `Quick (fun () ->
+        let tree = ladder2 () in
+        let r = of_tree tree in
+        let node = Rctree.Tree.output_named tree "out" in
+        let elmore = Rctree.Moments.elmore tree ~output:node in
+        check_close ~eps:1e-9 "area" elmore (area_above_response r ~node);
+        (* and for the intermediate node too *)
+        let n1 = Option.get (Rctree.Tree.find_node tree "n1") in
+        check_close ~eps:1e-9 "area n1" (Rctree.Moments.elmore tree ~output:n1)
+          (area_above_response r ~node:n1));
+    Alcotest.test_case "sample returns a waveform on the grid" `Quick (fun () ->
+        let tree = single_pole () in
+        let r = of_tree tree in
+        let node = Rctree.Tree.output_named tree "out" in
+        let w = sample r ~node ~times:[| 0.; 1e-6; 2e-6 |] in
+        check_int "n" 3 (Circuit.Waveform.length w);
+        check_close ~eps:1e-9 "v" (1. -. exp (-1.)) (Circuit.Waveform.value_at w 1e-6));
+  ]
+
+let transient_tests =
+  let open Circuit.Transient in
+  [
+    Alcotest.test_case "trapezoidal matches exact on the ladder" `Quick (fun () ->
+        let tree = ladder2 () in
+        let ex = Circuit.Exact.of_tree tree in
+        let node = Rctree.Tree.output_named tree "out" in
+        let r = simulate tree ~dt:0.01 ~t_end:5. ~input:step_input in
+        let w = waveform r ~node in
+        List.iter
+          (fun t ->
+            check_close ~eps:1e-4 "v" (Circuit.Exact.voltage ex ~node t)
+              (Circuit.Waveform.value_at w t))
+          [ 0.5; 1.; 2.; 4. ]);
+    Alcotest.test_case "backward euler converges from below accuracy" `Quick (fun () ->
+        let tree = single_pole () in
+        let node = Rctree.Tree.output_named tree "out" in
+        let err dt =
+          let r = simulate ~integration:Backward_euler tree ~dt ~t_end:2e-6 ~input:step_input in
+          let w = waveform r ~node in
+          Float.abs (Circuit.Waveform.value_at w 1e-6 -. (1. -. exp (-1.)))
+        in
+        check_bool "halving helps" true (err 1e-7 > err 5e-8));
+    Alcotest.test_case "ramp input settles to 1" `Quick (fun () ->
+        let tree = single_pole () in
+        let node = Rctree.Tree.output_named tree "out" in
+        let r = simulate tree ~dt:5e-8 ~t_end:1e-5 ~input:(ramp_input ~rise_time:1e-6) in
+        let w = waveform r ~node in
+        check_close ~eps:1e-3 "final" 1. (Circuit.Waveform.final_value w));
+    Alcotest.test_case "input node waveform is the input" `Quick (fun () ->
+        let tree = single_pole () in
+        let r = simulate tree ~dt:1e-7 ~t_end:1e-6 ~input:step_input in
+        let w = waveform r ~node:(Rctree.Tree.input tree) in
+        check_close "u" 1. (Circuit.Waveform.value_at w 5e-7));
+    Alcotest.test_case "nodes listed" `Quick (fun () ->
+        let tree = ladder2 () in
+        let r = simulate tree ~dt:0.1 ~t_end:1. ~input:step_input in
+        check_int "n" 3 (List.length (nodes r)));
+    Alcotest.test_case "final voltages approach 1" `Quick (fun () ->
+        let tree = ladder2 () in
+        let r = simulate tree ~dt:0.01 ~t_end:30. ~input:step_input in
+        List.iter (fun (_, v) -> check_close ~eps:1e-4 "1V" 1. v) (final_voltages r));
+    Alcotest.test_case "bad dt raises" `Quick (fun () ->
+        check_invalid "dt" (fun () ->
+            simulate (single_pole ()) ~dt:0. ~t_end:1. ~input:step_input));
+    Alcotest.test_case "ramp validates rise time" `Quick (fun () ->
+        check_invalid "rise" (fun () -> ramp_input ~rise_time:0. 1.));
+  ]
+
+let measure_tests =
+  [
+    Alcotest.test_case "bounds_hold on fig7" `Quick (fun () ->
+        let tree = fig7_tree () in
+        let out = Rctree.Tree.output_named tree "out" in
+        let times = Array.init 40 (fun i -> float_of_int i *. 25.) in
+        check_bool "holds" true (Circuit.Measure.bounds_hold tree ~output:out ~times));
+    Alcotest.test_case "elmore_by_area equals moments (lumped)" `Quick (fun () ->
+        let tree = ladder2 () in
+        let out = Rctree.Tree.output_named tree "out" in
+        check_close ~eps:1e-9 "elmore" (Rctree.Moments.elmore tree ~output:out)
+          (Circuit.Measure.elmore_by_area tree ~output:out));
+    Alcotest.test_case "elmore_by_area equals moments (distributed)" `Quick (fun () ->
+        (* pi lumping preserves the first moment for any segment count *)
+        let tree = fig7_tree () in
+        let out = Rctree.Tree.output_named tree "out" in
+        check_close ~eps:1e-6 "elmore" 363.
+          (Circuit.Measure.elmore_by_area ~segments:4 tree ~output:out));
+    Alcotest.test_case "exact_delay within PR bounds on a random-ish net" `Quick (fun () ->
+        let tree = ladder2 () in
+        let out = Rctree.Tree.output_named tree "out" in
+        let ts = Rctree.Moments.times tree ~output:out in
+        let d = Circuit.Measure.exact_delay tree ~output:out ~threshold:0.5 in
+        check_bool "inside" true (Rctree.Bounds.t_min ts 0.5 <= d && d <= Rctree.Bounds.t_max ts 0.5));
+    Alcotest.test_case "discretize_for_simulation is identity on lumped trees" `Quick (fun () ->
+        let tree = ladder2 () in
+        check_bool "same" true (Circuit.Measure.discretize_for_simulation tree == tree));
+  ]
+
+(* --- Large (matrix-free) --------------------------------------------- *)
+
+let large_tests =
+  let open Circuit.Large in
+  [
+    Alcotest.test_case "operator equals dense stamping" `Quick (fun () ->
+        let tree = fig7_tree () |> Rctree.Lump.discretize ~segments:4 in
+        let dt = 1. in
+        let op = operator tree ~dt in
+        let sys = Circuit.Mna.of_tree tree in
+        let dense =
+          Numeric.Matrix.add (Numeric.Matrix.scale (1. /. dt) (Circuit.Mna.c_matrix sys)) sys.g
+        in
+        let st = Random.State.make [| 3 |] in
+        let x = Array.init (node_count op) (fun _ -> Random.State.float st 2. -. 1.) in
+        check_close ~eps:1e-12 "same action" 0.
+          (Numeric.Vector.max_abs_diff (apply op x) (Numeric.Matrix.mul_vec dense x)));
+    Alcotest.test_case "matches the dense transient" `Quick (fun () ->
+        let tree = rc_chain ~sections:12 ~r:100. ~c:1e-12 in
+        let out = Rctree.Tree.output_named tree "out" in
+        let dt = 5e-11 and t_end = 1e-8 in
+        let dense =
+          Circuit.Transient.simulate ~integration:Circuit.Transient.Backward_euler tree ~dt ~t_end
+            ~input:Circuit.Transient.step_input
+        in
+        let wd = Circuit.Transient.waveform dense ~node:out in
+        let ws = List.assoc out (step_response tree ~dt ~t_end ~outputs:[ out ]) in
+        List.iter
+          (fun t ->
+            check_close ~eps:1e-7 "v" (Circuit.Waveform.value_at wd t)
+              (Circuit.Waveform.value_at ws t))
+          [ 1e-9; 3e-9; 6e-9; 9e-9 ]);
+    Alcotest.test_case "handles a 2000-node chain" `Quick (fun () ->
+        let tree = rc_chain ~sections:2000 ~r:1. ~c:1e-12 in
+        let out = Rctree.Tree.output_named tree "out" in
+        let tau = Rctree.Moments.elmore tree ~output:out in
+        let ws = List.assoc out (step_response tree ~dt:(tau /. 5.) ~t_end:tau ~outputs:[ out ]) in
+        let final = Circuit.Waveform.final_value ws in
+        check_bool "charging" true (final > 0.3 && final < 1.));
+    Alcotest.test_case "input node recorded as the source" `Quick (fun () ->
+        let tree = rc_chain ~sections:3 ~r:1. ~c:1. in
+        let input = Rctree.Tree.input tree in
+        let ws = List.assoc input (step_response tree ~dt:0.5 ~t_end:2. ~outputs:[ input ]) in
+        check_close "source" 1. (Circuit.Waveform.final_value ws));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        let tree = rc_chain ~sections:3 ~r:1. ~c:1. in
+        check_invalid "dt" (fun () -> operator tree ~dt:0.);
+        check_invalid "lines" (fun () -> operator (fig7_tree ()) ~dt:1.);
+        check_invalid "unknown output" (fun () ->
+            step_response tree ~dt:0.5 ~t_end:1. ~outputs:[ 99 ]);
+        check_invalid "sections" (fun () -> rc_chain ~sections:0 ~r:1. ~c:1.));
+  ]
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ("waveform", waveform_tests);
+      ("mna", mna_tests);
+      ("exact", exact_tests);
+      ("transient", transient_tests);
+      ("measure", measure_tests);
+      ("large", large_tests);
+    ]

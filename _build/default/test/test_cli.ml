@@ -1,0 +1,150 @@
+(* End-to-end tests of the rcdelay command-line interface, run
+   in-process with stdout captured to a file. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* run the CLI with stdout (and stderr) redirected; return (code, output) *)
+let run args =
+  let argv = Array.of_list ("rcdelay" :: args) in
+  let path = Filename.temp_file "cli" ".out" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush stdout;
+  flush stderr;
+  let saved_out = Unix.dup Unix.stdout and saved_err = Unix.dup Unix.stderr in
+  Unix.dup2 fd Unix.stdout;
+  Unix.dup2 fd Unix.stderr;
+  let restore () =
+    flush stdout;
+    flush stderr;
+    Unix.dup2 saved_out Unix.stdout;
+    Unix.dup2 saved_err Unix.stderr;
+    Unix.close saved_out;
+    Unix.close saved_err;
+    Unix.close fd
+  in
+  let code = try Cli.run argv with e -> restore (); raise e in
+  restore ();
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let output = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  (code, output)
+
+let with_fig7_deck f =
+  let path = Filename.temp_file "fig7" ".sp" in
+  let oc = open_out path in
+  output_string oc
+    "VIN in 0\nR1 in a 15\nC1 a 0 2\nR2 a b 8\nC2 b 0 7\nU1 a e 3 4\nC3 e 0 9\n.output e\n.end\n";
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let with_netlist f =
+  let path = Filename.temp_file "slice" ".net" in
+  let oc = open_out path in
+  output_string oc
+    "cell buf4 u1\ncell inv1 u2\ninput in1 loads=u1/a\nnet n1 driver=u1/y wire=line:1k,0.1p \
+     loads=u2/a\nnet out driver=u2/y loads=\noutput out\n";
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let tests =
+  [
+    Alcotest.test_case "fig10 prints the paper tables" `Quick (fun () ->
+        let code, out = run [ "fig10" ] in
+        check_int "exit" 0 code;
+        check_bool "tmax row" true (contains out "68.167");
+        check_bool "vmax row" true (contains out "0.18138"));
+    Alcotest.test_case "times on a deck" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out = run [ "times"; deck ] in
+            check_int "exit" 0 code;
+            check_bool "t_p" true (contains out "419");
+            check_bool "t_d" true (contains out "363")));
+    Alcotest.test_case "bounds with thresholds" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out = run [ "bounds"; deck; "-v"; "0.5" ] in
+            check_int "exit" 0 code;
+            check_bool "tmin" true (contains out "184.2");
+            check_bool "tmax" true (contains out "314.1")));
+    Alcotest.test_case "voltage at times" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out = run [ "voltage"; deck; "-t"; "100" ] in
+            check_int "exit" 0 code;
+            check_bool "vmin" true (contains out "0.16644")));
+    Alcotest.test_case "certify exit codes" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let pass, out_pass = run [ "certify"; deck; "-v"; "0.5"; "--deadline"; "320" ] in
+            check_int "pass" 0 pass;
+            check_bool "verdict" true (contains out_pass "pass");
+            let fail, out_fail = run [ "certify"; deck; "-v"; "0.5"; "--deadline"; "100" ] in
+            check_int "fail" 1 fail;
+            check_bool "verdict" true (contains out_fail "fail")));
+    Alcotest.test_case "simulate emits csv" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out = run [ "simulate"; deck; "--t-end"; "600"; "--samples"; "4" ] in
+            check_int "exit" 0 code;
+            check_bool "header" true (contains out "t,e");
+            check_int "rows" 5 (List.length (String.split_on_char '\n' (String.trim out)))));
+    Alcotest.test_case "pla sweep" `Quick (fun () ->
+        let code, out = run [ "pla"; "--minterms"; "2,100" ] in
+        check_int "exit" 0 code;
+        check_bool "100 row" true (contains out "100"));
+    Alcotest.test_case "ramp widens the window" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out = run [ "ramp"; deck; "--rise"; "200"; "-v"; "0.5" ] in
+            check_int "exit" 0 code;
+            check_bool "both windows" true (contains out "step window" && contains out "289.2")));
+    Alcotest.test_case "moments and model" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out = run [ "moments"; deck ] in
+            check_int "exit" 0 code;
+            check_bool "m1" true (contains out "363");
+            check_bool "model" true (contains out "pole")));
+    Alcotest.test_case "ac bandwidth" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out = run [ "ac"; deck; "--points"; "3" ] in
+            check_int "exit" 0 code;
+            check_bool "f3db" true (contains out "f_3dB")));
+    Alcotest.test_case "sta on a netlist file" `Quick (fun () ->
+        with_netlist (fun net ->
+            let code, out = run [ "sta"; net; "--period"; "10e-9" ] in
+            check_int "exit" 0 code;
+            check_bool "report" true (contains out "Penfield-Rubinstein");
+            check_bool "pass" true (contains out "PASS")));
+    Alcotest.test_case "sta elmore mode" `Quick (fun () ->
+        with_netlist (fun net ->
+            let code, out = run [ "sta"; net; "--elmore" ] in
+            check_int "exit" 0 code;
+            check_bool "mode" true (contains out "Elmore")));
+    Alcotest.test_case "adder demo" `Quick (fun () ->
+        let code, out = run [ "adder"; "--bits"; "4"; "--period"; "30e-9" ] in
+        check_int "exit" 0 code;
+        check_bool "gates" true (contains out "36 nand2");
+        check_bool "period" true (contains out "minimum certified period"));
+    Alcotest.test_case "sta hold check" `Quick (fun () ->
+        with_netlist (fun net ->
+            let code, out = run [ "sta"; net; "--hold"; "1e-12" ] in
+            check_int "exit" 0 code;
+            check_bool "hold" true (contains out "hold check")));
+    Alcotest.test_case "bad deck reports and fails" `Quick (fun () ->
+        let path = Filename.temp_file "bad" ".sp" in
+        let oc = open_out path in
+        output_string oc "R1 in a 1\nC1 a 0 1\n";
+        close_out oc;
+        let code, out = run [ "times"; path ] in
+        Sys.remove path;
+        check_int "exit" 1 code;
+        check_bool "message" true (contains out "source"));
+    Alcotest.test_case "unknown subcommand fails" `Quick (fun () ->
+        let code, _ = run [ "frobnicate" ] in
+        check_bool "nonzero" true (code <> 0));
+  ]
+
+let () = Alcotest.run "cli" [ ("rcdelay", tests) ]

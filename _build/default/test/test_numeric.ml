@@ -1,0 +1,573 @@
+(* Unit tests for the numeric substrate. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-9) msg a b = Alcotest.(check (float eps)) msg a b
+let check_bool = Alcotest.(check bool)
+
+let check_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* --- Float_cmp ---------------------------------------------------- *)
+
+let float_cmp_tests =
+  let open Numeric.Float_cmp in
+  [
+    Alcotest.test_case "equal values" `Quick (fun () -> check_bool "eq" true (approx_eq 1.0 1.0));
+    Alcotest.test_case "close values" `Quick (fun () ->
+        check_bool "eq" true (approx_eq 1.0 (1.0 +. 1e-12)));
+    Alcotest.test_case "distant values" `Quick (fun () ->
+        check_bool "neq" false (approx_eq 1.0 1.001));
+    Alcotest.test_case "relative tolerance scales" `Quick (fun () ->
+        check_bool "eq" true (approx_eq 1e12 (1e12 +. 1.)));
+    Alcotest.test_case "absolute tolerance near zero" `Quick (fun () ->
+        check_bool "eq" true (approx_eq 0. 1e-13));
+    Alcotest.test_case "nan is never equal" `Quick (fun () ->
+        check_bool "neq" false (approx_eq Float.nan Float.nan));
+    Alcotest.test_case "identical infinities are equal" `Quick (fun () ->
+        check_bool "eq" true (approx_eq Float.infinity Float.infinity));
+    Alcotest.test_case "opposite infinities differ" `Quick (fun () ->
+        check_bool "neq" false (approx_eq Float.infinity Float.neg_infinity));
+    Alcotest.test_case "approx_le strict" `Quick (fun () -> check_bool "le" true (approx_le 1. 2.));
+    Alcotest.test_case "approx_le tolerant" `Quick (fun () ->
+        check_bool "le" true (approx_le (1. +. 1e-13) 1.));
+    Alcotest.test_case "approx_le violated" `Quick (fun () ->
+        check_bool "gt" false (approx_le 1.1 1.));
+    Alcotest.test_case "clamp inside" `Quick (fun () ->
+        check_float "mid" 0.5 (clamp ~lo:0. ~hi:1. 0.5));
+    Alcotest.test_case "clamp below" `Quick (fun () -> check_float "lo" 0. (clamp ~lo:0. ~hi:1. (-3.)));
+    Alcotest.test_case "clamp above" `Quick (fun () -> check_float "hi" 1. (clamp ~lo:0. ~hi:1. 7.));
+    Alcotest.test_case "clamp bad interval raises" `Quick (fun () ->
+        check_invalid "clamp" (fun () -> clamp ~lo:1. ~hi:0. 0.5));
+    Alcotest.test_case "is_finite" `Quick (fun () ->
+        check_bool "finite" true (is_finite 1.);
+        check_bool "nan" false (is_finite Float.nan);
+        check_bool "inf" false (is_finite Float.infinity));
+  ]
+
+(* --- Vector -------------------------------------------------------- *)
+
+let vector_tests =
+  let open Numeric.Vector in
+  [
+    Alcotest.test_case "create is zero" `Quick (fun () -> check_float "sum" 0. (sum (create 5)));
+    Alcotest.test_case "add" `Quick (fun () ->
+        let v = add [| 1.; 2. |] [| 3.; 4. |] in
+        check_float "0" 4. v.(0);
+        check_float "1" 6. v.(1));
+    Alcotest.test_case "add dimension mismatch raises" `Quick (fun () ->
+        check_invalid "add" (fun () -> add [| 1. |] [| 1.; 2. |]));
+    Alcotest.test_case "sub" `Quick (fun () -> check_float "0" (-2.) (sub [| 1. |] [| 3. |]).(0));
+    Alcotest.test_case "scale" `Quick (fun () -> check_float "0" 6. (scale 2. [| 3. |]).(0));
+    Alcotest.test_case "dot" `Quick (fun () -> check_float "dot" 11. (dot [| 1.; 2. |] [| 3.; 4. |]));
+    Alcotest.test_case "norm2" `Quick (fun () -> check_float "norm" 5. (norm2 [| 3.; 4. |]));
+    Alcotest.test_case "norm_inf" `Quick (fun () ->
+        check_float "norm" 4. (norm_inf [| 3.; -4.; 1. |]));
+    Alcotest.test_case "norm_inf empty" `Quick (fun () -> check_float "norm" 0. (norm_inf [||]));
+    Alcotest.test_case "axpy" `Quick (fun () ->
+        let y = [| 1.; 1. |] in
+        axpy 2. [| 1.; 2. |] y;
+        check_float "0" 3. y.(0);
+        check_float "1" 5. y.(1));
+    Alcotest.test_case "add_in_place" `Quick (fun () ->
+        let y = [| 1. |] in
+        add_in_place y [| 2. |];
+        check_float "0" 3. y.(0));
+    Alcotest.test_case "scale_in_place" `Quick (fun () ->
+        let y = [| 2. |] in
+        scale_in_place 3. y;
+        check_float "0" 6. y.(0));
+    Alcotest.test_case "max_abs_diff" `Quick (fun () ->
+        check_float "diff" 2. (max_abs_diff [| 1.; 5. |] [| 3.; 4. |]));
+    Alcotest.test_case "map2" `Quick (fun () ->
+        check_float "0" 3. (map2 ( +. ) [| 1. |] [| 2. |]).(0));
+    Alcotest.test_case "of_list/to_list round-trip" `Quick (fun () ->
+        Alcotest.(check (list (float 0.))) "round" [ 1.; 2. ] (to_list (of_list [ 1.; 2. ])));
+    Alcotest.test_case "fill" `Quick (fun () ->
+        let v = create 3 in
+        fill v 2.;
+        check_float "sum" 6. (sum v));
+  ]
+
+(* --- Matrix -------------------------------------------------------- *)
+
+let matrix_tests =
+  let open Numeric.Matrix in
+  let m22 () = of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  [
+    Alcotest.test_case "identity mul" `Quick (fun () ->
+        let m = m22 () in
+        check_float "diff" 0. (max_abs_diff (mul (identity 2) m) m));
+    Alcotest.test_case "mul known" `Quick (fun () ->
+        let m = m22 () in
+        let p = mul m m in
+        check_float "00" 7. (get p 0 0);
+        check_float "01" 10. (get p 0 1);
+        check_float "10" 15. (get p 1 0);
+        check_float "11" 22. (get p 1 1));
+    Alcotest.test_case "mul shape mismatch raises" `Quick (fun () ->
+        check_invalid "mul" (fun () -> mul (m22 ()) (create 3 3)));
+    Alcotest.test_case "mul_vec" `Quick (fun () ->
+        let v = mul_vec (m22 ()) [| 1.; 1. |] in
+        check_float "0" 3. v.(0);
+        check_float "1" 7. v.(1));
+    Alcotest.test_case "transpose" `Quick (fun () ->
+        check_float "01" 3. (get (transpose (m22 ())) 0 1));
+    Alcotest.test_case "add_entry accumulates" `Quick (fun () ->
+        let m = create 2 2 in
+        add_entry m 0 0 1.;
+        add_entry m 0 0 2.;
+        check_float "00" 3. (get m 0 0));
+    Alcotest.test_case "get out of bounds raises" `Quick (fun () ->
+        check_invalid "get" (fun () -> get (m22 ()) 2 0));
+    Alcotest.test_case "of_arrays ragged raises" `Quick (fun () ->
+        check_invalid "ragged" (fun () -> of_arrays [| [| 1. |]; [| 1.; 2. |] |]));
+    Alcotest.test_case "is_symmetric true" `Quick (fun () ->
+        check_bool "sym" true (is_symmetric (of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |])));
+    Alcotest.test_case "is_symmetric false" `Quick (fun () ->
+        check_bool "sym" false (is_symmetric (m22 ())));
+    Alcotest.test_case "row and col" `Quick (fun () ->
+        check_float "row" 2. (row (m22 ()) 0).(1);
+        check_float "col" 2. (col (m22 ()) 1).(0));
+    Alcotest.test_case "copy is independent" `Quick (fun () ->
+        let m = m22 () in
+        let c = copy m in
+        set c 0 0 99.;
+        check_float "orig" 1. (get m 0 0));
+    Alcotest.test_case "scale" `Quick (fun () -> check_float "00" 2. (get (scale 2. (m22 ())) 0 0));
+    Alcotest.test_case "add sub" `Quick (fun () ->
+        let m = m22 () in
+        check_float "add" 2. (get (add m m) 0 0);
+        check_float "sub" 0. (get (sub m m) 1 1));
+  ]
+
+(* --- Lu ------------------------------------------------------------ *)
+
+let lu_tests =
+  let open Numeric in
+  [
+    Alcotest.test_case "solve 2x2" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+        let x = Lu.solve a [| 5.; 10. |] in
+        check_close "x0" 1. x.(0);
+        check_close "x1" 3. x.(1));
+    Alcotest.test_case "solve requires pivoting" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+        let x = Lu.solve a [| 2.; 3. |] in
+        check_close "x0" 3. x.(0);
+        check_close "x1" 2. x.(1));
+    Alcotest.test_case "singular raises" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+        match Lu.decompose a with
+        | _ -> Alcotest.fail "expected Singular"
+        | exception Lu.Singular _ -> ());
+    Alcotest.test_case "non-square raises" `Quick (fun () ->
+        check_invalid "decompose" (fun () -> Lu.decompose (Matrix.create 2 3)));
+    Alcotest.test_case "determinant known" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+        check_close "det" (-2.) (Lu.determinant a));
+    Alcotest.test_case "determinant of singular is zero" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+        check_close "det" 0. (Lu.determinant a));
+    Alcotest.test_case "determinant sign tracks row swaps" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+        check_close "det" (-1.) (Lu.determinant a));
+    Alcotest.test_case "inverse" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+        let id = Matrix.mul a (Lu.inverse a) in
+        check_close ~eps:1e-12 "id" 0. (Matrix.max_abs_diff id (Matrix.identity 2)));
+    Alcotest.test_case "solve residual on random 20x20" `Quick (fun () ->
+        let st = Random.State.make [| 42 |] in
+        let n = 20 in
+        let a =
+          Matrix.init n n (fun i j -> (if i = j then 10. else 0.) +. Random.State.float st 1.)
+        in
+        let b = Array.init n (fun _ -> Random.State.float st 1.) in
+        let x = Lu.solve a b in
+        let r = Vector.sub (Matrix.mul_vec a x) b in
+        check_close ~eps:1e-10 "residual" 0. (Vector.norm_inf r));
+    Alcotest.test_case "factor reuse" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 2.; 0. |]; [| 0.; 4. |] |] in
+        let f = Lu.decompose a in
+        check_close "b1" 1. (Lu.solve_factored f [| 2.; 0. |]).(0);
+        check_close "b2" 2. (Lu.solve_factored f [| 0.; 8. |]).(1));
+    Alcotest.test_case "solve_matrix columns" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 2.; 0. |]; [| 0.; 4. |] |] in
+        let x = Lu.solve_matrix a (Matrix.identity 2) in
+        check_close "00" 0.5 (Matrix.get x 0 0);
+        check_close "11" 0.25 (Matrix.get x 1 1));
+  ]
+
+(* --- Eigen ---------------------------------------------------------- *)
+
+let eigen_tests =
+  let open Numeric in
+  [
+    Alcotest.test_case "diagonal matrix" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 3.; 0. |]; [| 0.; 1. |] |] in
+        let d = Eigen.symmetric a in
+        check_close "l0" 1. d.Eigen.eigenvalues.(0);
+        check_close "l1" 3. d.Eigen.eigenvalues.(1));
+    Alcotest.test_case "known 2x2" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+        let d = Eigen.symmetric a in
+        check_close "l0" 1. d.Eigen.eigenvalues.(0);
+        check_close "l1" 3. d.Eigen.eigenvalues.(1));
+    Alcotest.test_case "reconstruction" `Quick (fun () ->
+        let st = Random.State.make [| 7 |] in
+        let n = 12 in
+        let upper = Matrix.init n n (fun _ _ -> Random.State.float st 2. -. 1.) in
+        let a =
+          Matrix.init n n (fun i j -> if j >= i then Matrix.get upper i j else Matrix.get upper j i)
+        in
+        let d = Eigen.symmetric a in
+        check_close ~eps:1e-7 "reconstruct" 0. (Matrix.max_abs_diff (Eigen.reconstruct d) a));
+    Alcotest.test_case "eigenvector orthonormality" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 4.; 1.; 0. |]; [| 1.; 3.; 1. |]; [| 0.; 1.; 2. |] |] in
+        let d = Eigen.symmetric a in
+        let v = d.Eigen.eigenvectors in
+        let vtv = Matrix.mul (Matrix.transpose v) v in
+        check_close ~eps:1e-12 "orthonormal" 0. (Matrix.max_abs_diff vtv (Matrix.identity 3)));
+    Alcotest.test_case "ascending order" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 5.; 0.; 0. |]; [| 0.; 1.; 0. |]; [| 0.; 0.; 3. |] |] in
+        let d = Eigen.symmetric a in
+        check_bool "sorted" true
+          (d.Eigen.eigenvalues.(0) <= d.Eigen.eigenvalues.(1)
+          && d.Eigen.eigenvalues.(1) <= d.Eigen.eigenvalues.(2)));
+    Alcotest.test_case "trace preserved" `Quick (fun () ->
+        let a = Matrix.of_arrays [| [| 4.; 1. |]; [| 1.; 3. |] |] in
+        let d = Eigen.symmetric a in
+        check_close "trace" 7. (d.Eigen.eigenvalues.(0) +. d.Eigen.eigenvalues.(1)));
+    Alcotest.test_case "non-square raises" `Quick (fun () ->
+        check_invalid "symmetric" (fun () -> Eigen.symmetric (Matrix.create 2 3)));
+  ]
+
+(* --- Roots ---------------------------------------------------------- *)
+
+let roots_tests =
+  let open Numeric.Roots in
+  [
+    Alcotest.test_case "bisect linear" `Quick (fun () ->
+        check_close ~eps:1e-9 "root" 2. (bisect (fun x -> x -. 2.) ~lo:0. ~hi:10.));
+    Alcotest.test_case "bisect endpoint zero" `Quick (fun () ->
+        check_close "root" 0. (bisect (fun x -> x) ~lo:0. ~hi:1.));
+    Alcotest.test_case "bisect no bracket raises" `Quick (fun () ->
+        Alcotest.check_raises "no bracket" No_bracket (fun () ->
+            ignore (bisect (fun x -> (x *. x) +. 1.) ~lo:(-1.) ~hi:1.)));
+    Alcotest.test_case "brent transcendental" `Quick (fun () ->
+        check_close ~eps:1e-9 "root" (Float.pi /. 2.) (brent cos ~lo:1. ~hi:2.));
+    Alcotest.test_case "brent matches bisect" `Quick (fun () ->
+        let f x = exp x -. 3. in
+        check_close ~eps:1e-8 "agree" (bisect f ~lo:0. ~hi:2.) (brent f ~lo:0. ~hi:2.));
+    Alcotest.test_case "brent no bracket raises" `Quick (fun () ->
+        Alcotest.check_raises "no bracket" No_bracket (fun () ->
+            ignore (brent (fun _ -> 1.) ~lo:0. ~hi:1.)));
+    Alcotest.test_case "expand_bracket grows upward" `Quick (fun () ->
+        let f x = x -. 100. in
+        let lo, hi = expand_bracket f ~lo:0. ~hi:1. in
+        check_bool "brackets" true (f lo *. f hi <= 0.));
+    Alcotest.test_case "expand_bracket gives up" `Quick (fun () ->
+        Alcotest.check_raises "no bracket" No_bracket (fun () ->
+            ignore (expand_bracket (fun _ -> 1.) ~lo:0. ~hi:1. ~max_iter:5)));
+    Alcotest.test_case "bisect reversed interval raises" `Quick (fun () ->
+        check_invalid "bisect" (fun () -> bisect (fun x -> x) ~lo:1. ~hi:0.));
+    Alcotest.test_case "brent steep function" `Quick (fun () ->
+        check_close ~eps:1e-8 "root" 1. (brent (fun x -> (x ** 9.) -. 1.) ~lo:0. ~hi:5.));
+  ]
+
+(* --- Interp --------------------------------------------------------- *)
+
+let interp_tests =
+  let open Numeric.Interp in
+  let xs = [| 0.; 1.; 2. |] and ys = [| 0.; 10.; 40. |] in
+  [
+    Alcotest.test_case "interior interpolation" `Quick (fun () ->
+        check_close "mid" 5. (linear ~xs ~ys 0.5);
+        check_close "mid2" 25. (linear ~xs ~ys 1.5));
+    Alcotest.test_case "at samples" `Quick (fun () -> check_close "node" 10. (linear ~xs ~ys 1.));
+    Alcotest.test_case "constant extrapolation" `Quick (fun () ->
+        check_close "left" 0. (linear ~xs ~ys (-5.));
+        check_close "right" 40. (linear ~xs ~ys 99.));
+    Alcotest.test_case "single sample" `Quick (fun () ->
+        check_close "value" 7. (linear ~xs:[| 1. |] ~ys:[| 7. |] 3.));
+    Alcotest.test_case "length mismatch raises" `Quick (fun () ->
+        check_invalid "linear" (fun () -> linear ~xs ~ys:[| 1. |] 0.5));
+    Alcotest.test_case "non-increasing raises" `Quick (fun () ->
+        check_invalid "linear" (fun () -> linear ~xs:[| 0.; 0. |] ~ys:[| 1.; 2. |] 0.5));
+    Alcotest.test_case "inverse_monotone interior" `Quick (fun () ->
+        Alcotest.(check (option (float 1e-12))) "x" (Some 0.5) (inverse_monotone ~xs ~ys 5.));
+    Alcotest.test_case "inverse_monotone below range" `Quick (fun () ->
+        Alcotest.(check (option (float 1e-12))) "x" (Some 0.) (inverse_monotone ~xs ~ys (-1.)));
+    Alcotest.test_case "inverse_monotone unreachable" `Quick (fun () ->
+        Alcotest.(check (option (float 1e-12))) "x" None (inverse_monotone ~xs ~ys 100.));
+    Alcotest.test_case "trapezoid linear is exact" `Quick (fun () ->
+        check_close "area" 1. (trapezoid ~xs:[| 0.; 1. |] ~ys:[| 0.; 2. |]));
+    Alcotest.test_case "trapezoid piecewise" `Quick (fun () -> check_close "area" 30. (trapezoid ~xs ~ys));
+    Alcotest.test_case "trapezoid_between clips" `Quick (fun () ->
+        check_close "area" 5. (trapezoid_between ~xs ~ys ~lo:0. ~hi:1.);
+        check_close "whole" 30. (trapezoid_between ~xs ~ys ~lo:(-10.) ~hi:10.));
+    Alcotest.test_case "trapezoid_between partial segment" `Quick (fun () ->
+        check_close "area" 1.25 (trapezoid_between ~xs ~ys ~lo:0. ~hi:0.5));
+    Alcotest.test_case "trapezoid_between degenerate" `Quick (fun () ->
+        check_close "area" 0. (trapezoid_between ~xs ~ys ~lo:5. ~hi:3.));
+  ]
+
+(* --- Ode ------------------------------------------------------------ *)
+
+let ode_tests =
+  let open Numeric in
+  (* single RC: C v' = -G v + G u; R = 1k, C = 1u, tau = 1ms *)
+  let r = 1000. and c = 1e-6 in
+  let tau = r *. c in
+  let g = Matrix.of_arrays [| [| 1. /. r |] |] in
+  let cm = Matrix.of_arrays [| [| c |] |] in
+  let b = [| 1. /. r |] in
+  let exact t = 1. -. exp (-.t /. tau) in
+  let final_error stepper =
+    let traj =
+      Ode.simulate stepper ~x0:[| 0. |] ~u:(fun t -> if t < 0. then 0. else 1.) ~t_end:tau
+    in
+    let t_last, x_last = List.nth traj (List.length traj - 1) in
+    Float.abs (x_last.(0) -. exact t_last)
+  in
+  [
+    Alcotest.test_case "backward euler converges" `Quick (fun () ->
+        let e = final_error (Ode.backward_euler ~c:cm ~g ~b ~dt:(tau /. 100.)) in
+        check_bool "small" true (e < 5e-3));
+    Alcotest.test_case "backward euler is first order" `Quick (fun () ->
+        let e1 = final_error (Ode.backward_euler ~c:cm ~g ~b ~dt:(tau /. 50.)) in
+        let e2 = final_error (Ode.backward_euler ~c:cm ~g ~b ~dt:(tau /. 100.)) in
+        check_bool "halving dt halves error" true (e1 /. e2 > 1.7 && e1 /. e2 < 2.3));
+    Alcotest.test_case "trapezoidal is second order" `Quick (fun () ->
+        let e1 = final_error (Ode.trapezoidal ~c:cm ~g ~b ~dt:(tau /. 50.)) in
+        let e2 = final_error (Ode.trapezoidal ~c:cm ~g ~b ~dt:(tau /. 100.)) in
+        check_bool "halving dt quarters error" true (e1 /. e2 > 3.4 && e1 /. e2 < 4.6));
+    Alcotest.test_case "trapezoidal beats backward euler" `Quick (fun () ->
+        let eb = final_error (Ode.backward_euler ~c:cm ~g ~b ~dt:(tau /. 100.)) in
+        let et = final_error (Ode.trapezoidal ~c:cm ~g ~b ~dt:(tau /. 100.)) in
+        check_bool "better" true (et < eb));
+    Alcotest.test_case "trajectory includes t=0" `Quick (fun () ->
+        let s = Ode.backward_euler ~c:cm ~g ~b ~dt:(tau /. 10.) in
+        match Ode.simulate s ~x0:[| 0. |] ~u:(fun _ -> 1.) ~t_end:tau with
+        | (t0, x0) :: _ ->
+            check_float "t0" 0. t0;
+            check_float "x0" 0. x0.(0)
+        | [] -> Alcotest.fail "empty trajectory");
+    Alcotest.test_case "dt accessor" `Quick (fun () ->
+        check_close "dt" 1e-4 (Ode.dt (Ode.backward_euler ~c:cm ~g ~b ~dt:1e-4)));
+    Alcotest.test_case "bad dt raises" `Quick (fun () ->
+        check_invalid "dt" (fun () -> Ode.backward_euler ~c:cm ~g ~b ~dt:0.));
+    Alcotest.test_case "shape mismatch raises" `Quick (fun () ->
+        check_invalid "shapes" (fun () -> Ode.backward_euler ~c:cm ~g ~b:[| 1.; 2. |] ~dt:1.));
+    Alcotest.test_case "negative t_end raises" `Quick (fun () ->
+        let s = Ode.backward_euler ~c:cm ~g ~b ~dt:1e-4 in
+        check_invalid "t_end" (fun () -> Ode.simulate s ~x0:[| 0. |] ~u:(fun _ -> 1.) ~t_end:(-1.)));
+  ]
+
+(* --- Stats ----------------------------------------------------------- *)
+
+let stats_tests =
+  let open Numeric.Stats in
+  [
+    Alcotest.test_case "mean" `Quick (fun () -> check_float "mean" 2. (mean [| 1.; 2.; 3. |]));
+    Alcotest.test_case "mean of empty raises" `Quick (fun () ->
+        check_invalid "mean" (fun () -> mean [||]));
+    Alcotest.test_case "variance" `Quick (fun () -> check_close "var" 1. (variance [| 1.; 2.; 3. |]));
+    Alcotest.test_case "variance of singleton is zero" `Quick (fun () ->
+        check_float "var" 0. (variance [| 5. |]));
+    Alcotest.test_case "stddev" `Quick (fun () -> check_close "sd" 1. (stddev [| 1.; 2.; 3. |]));
+    Alcotest.test_case "min max" `Quick (fun () ->
+        check_float "min" 1. (min [| 3.; 1.; 2. |]);
+        check_float "max" 3. (max [| 3.; 1.; 2. |]));
+    Alcotest.test_case "median odd" `Quick (fun () -> check_float "med" 2. (median [| 3.; 1.; 2. |]));
+    Alcotest.test_case "median even interpolates" `Quick (fun () ->
+        check_float "med" 1.5 (median [| 1.; 2. |]));
+    Alcotest.test_case "percentile endpoints" `Quick (fun () ->
+        check_float "p0" 1. (percentile [| 1.; 2.; 3. |] 0.);
+        check_float "p100" 3. (percentile [| 1.; 2.; 3. |] 100.));
+    Alcotest.test_case "percentile out of range raises" `Quick (fun () ->
+        check_invalid "percentile" (fun () -> percentile [| 1. |] 101.));
+    Alcotest.test_case "percentile does not mutate" `Quick (fun () ->
+        let xs = [| 3.; 1. |] in
+        ignore (percentile xs 50.);
+        check_float "unchanged" 3. xs.(0));
+    Alcotest.test_case "geometric mean" `Quick (fun () ->
+        check_close "gm" 2. (geometric_mean [| 1.; 2.; 4. |]));
+    Alcotest.test_case "geometric mean rejects non-positive" `Quick (fun () ->
+        check_invalid "gm" (fun () -> geometric_mean [| 1.; 0. |]));
+    Alcotest.test_case "linear_fit exact" `Quick (fun () ->
+        let slope, intercept = linear_fit [| 0.; 1.; 2. |] [| 1.; 3.; 5. |] in
+        check_close "slope" 2. slope;
+        check_close "intercept" 1. intercept);
+    Alcotest.test_case "linear_fit degenerate raises" `Quick (fun () ->
+        check_invalid "fit" (fun () -> linear_fit [| 1.; 1. |] [| 1.; 2. |]));
+    Alcotest.test_case "log_log_slope of a power law" `Quick (fun () ->
+        let xs = [| 1.; 2.; 4.; 8. |] in
+        let ys = Array.map (fun x -> 3. *. (x ** 2.)) xs in
+        check_close "slope" 2. (log_log_slope xs ys));
+    Alcotest.test_case "log_log_slope rejects non-positive" `Quick (fun () ->
+        check_invalid "slope" (fun () -> log_log_slope [| 1.; 2. |] [| 1.; -1. |]));
+  ]
+
+(* --- Sparse --------------------------------------------------------- *)
+
+let sparse_tests =
+  let open Numeric in
+  let sample () =
+    Sparse.of_triplets ~rows:3 ~cols:3
+      [ (0, 0, 2.); (0, 1, -1.); (1, 0, -1.); (1, 1, 2.); (1, 2, -1.); (2, 1, -1.); (2, 2, 2.) ]
+  in
+  [
+    Alcotest.test_case "get stored and missing entries" `Quick (fun () ->
+        let m = sample () in
+        check_float "00" 2. (Sparse.get m 0 0);
+        check_float "01" (-1.) (Sparse.get m 0 1);
+        check_float "02" 0. (Sparse.get m 0 2));
+    Alcotest.test_case "nnz counts stored entries" `Quick (fun () ->
+        Alcotest.(check int) "nnz" 7 (Sparse.nnz (sample ())));
+    Alcotest.test_case "duplicates accumulate" `Quick (fun () ->
+        let m = Sparse.of_triplets ~rows:1 ~cols:1 [ (0, 0, 1.); (0, 0, 2.5) ] in
+        check_float "sum" 3.5 (Sparse.get m 0 0));
+    Alcotest.test_case "explicit zeros dropped" `Quick (fun () ->
+        let m = Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 0, 0.); (1, 1, 1.) ] in
+        Alcotest.(check int) "nnz" 1 (Sparse.nnz m));
+    Alcotest.test_case "out of range rejected" `Quick (fun () ->
+        check_invalid "range" (fun () -> Sparse.of_triplets ~rows:2 ~cols:2 [ (2, 0, 1.) ]));
+    Alcotest.test_case "dense round-trip" `Quick (fun () ->
+        let d = Matrix.of_arrays [| [| 1.; 0.; 3. |]; [| 0.; 0.; 0. |]; [| 4.; 5.; 0. |] |] in
+        check_float "diff" 0. (Matrix.max_abs_diff (Sparse.to_dense (Sparse.of_dense d)) d));
+    Alcotest.test_case "mul_vec agrees with dense" `Quick (fun () ->
+        let m = sample () in
+        let v = [| 1.; 2.; 3. |] in
+        let sparse = Sparse.mul_vec m v in
+        let dense = Matrix.mul_vec (Sparse.to_dense m) v in
+        check_float "diff" 0. (Vector.max_abs_diff sparse dense));
+    Alcotest.test_case "diagonal" `Quick (fun () ->
+        let d = Sparse.diagonal (sample ()) in
+        check_float "0" 2. d.(0);
+        check_float "2" 2. d.(2));
+    Alcotest.test_case "transpose" `Quick (fun () ->
+        let m = Sparse.of_triplets ~rows:2 ~cols:3 [ (0, 2, 7.) ] in
+        let t = Sparse.transpose m in
+        Alcotest.(check int) "rows" 3 (Sparse.rows t);
+        check_float "20" 7. (Sparse.get t 2 0));
+    Alcotest.test_case "scale and add" `Quick (fun () ->
+        let m = sample () in
+        let s = Sparse.add m (Sparse.scale (-1.) m) in
+        Alcotest.(check int) "cancels" 0 (Sparse.nnz s));
+  ]
+
+(* --- Cg --------------------------------------------------------------- *)
+
+let cg_tests =
+  let open Numeric in
+  let spd n =
+    (* tridiagonal SPD: 2 on the diagonal, -1 off *)
+    let triplets = ref [] in
+    for i = 0 to n - 1 do
+      triplets := (i, i, 2.) :: !triplets;
+      if i > 0 then triplets := (i, i - 1, -1.) :: (i - 1, i, -1.) :: !triplets
+    done;
+    Sparse.of_triplets ~rows:n ~cols:n !triplets
+  in
+  [
+    Alcotest.test_case "solves a small SPD system" `Quick (fun () ->
+        let a = spd 5 in
+        let x_true = [| 1.; -2.; 3.; 0.5; 2. |] in
+        let b = Sparse.mul_vec a x_true in
+        let x = Cg.solve_sparse a b in
+        check_close ~eps:1e-9 "x" 0. (Vector.max_abs_diff x x_true));
+    Alcotest.test_case "matches LU on a random SPD system" `Quick (fun () ->
+        let st = Random.State.make [| 11 |] in
+        let n = 15 in
+        let m = Matrix.init n n (fun _ _ -> Random.State.float st 1.) in
+        (* A = M^T M + n I is SPD *)
+        let a = Matrix.add (Matrix.mul (Matrix.transpose m) m) (Matrix.scale (float_of_int n) (Matrix.identity n)) in
+        let b = Array.init n (fun i -> sin (float_of_int i)) in
+        let x_lu = Lu.solve a b in
+        let x_cg, _ = Cg.solve ~mul:(Matrix.mul_vec a) b in
+        check_close ~eps:1e-8 "agree" 0. (Vector.max_abs_diff x_lu x_cg));
+    Alcotest.test_case "zero rhs gives zero instantly" `Quick (fun () ->
+        let x, stats = Cg.solve ~mul:(fun v -> v) [| 0.; 0. |] in
+        check_float "x0" 0. x.(0);
+        Alcotest.(check int) "iters" 0 stats.Cg.iterations);
+    Alcotest.test_case "converges within n iterations in exact arithmetic" `Quick (fun () ->
+        let a = spd 30 in
+        let b = Array.make 30 1. in
+        let _, stats = Cg.solve ~diag_precondition:(Sparse.diagonal a) ~mul:(Sparse.mul_vec a) b in
+        check_bool "iters <= 2n" true (stats.Cg.iterations <= 60));
+    Alcotest.test_case "iteration limit raises" `Quick (fun () ->
+        let a = spd 30 in
+        let b = Array.make 30 1. in
+        match Cg.solve ~max_iter:2 ~mul:(Sparse.mul_vec a) b with
+        | _ -> Alcotest.fail "expected Not_converged"
+        | exception Cg.Not_converged stats ->
+            Alcotest.(check int) "iters" 2 stats.Cg.iterations);
+    Alcotest.test_case "bad preconditioner rejected" `Quick (fun () ->
+        check_invalid "precond" (fun () ->
+            Cg.solve ~diag_precondition:[| 0.; 1. |] ~mul:(fun v -> v) [| 1.; 1. |]));
+  ]
+
+(* --- Polynomial -------------------------------------------------------- *)
+
+let polynomial_tests =
+  let open Numeric.Polynomial in
+  [
+    Alcotest.test_case "degree ignores trailing zeros" `Quick (fun () ->
+        Alcotest.(check int) "deg" 2 (degree [| 1.; 2.; 3.; 0.; 0. |]);
+        Alcotest.(check int) "zero poly" (-1) (degree [| 0.; 0. |]));
+    Alcotest.test_case "horner evaluation" `Quick (fun () ->
+        check_float "p(2)" 17. (eval [| 1.; 2.; 3. |] 2.));
+    Alcotest.test_case "derivative" `Quick (fun () ->
+        let d = derivative [| 5.; 1.; 2.; 3. |] in
+        check_float "d0" 1. d.(0);
+        check_float "d1" 4. d.(1);
+        check_float "d2" 9. d.(2));
+    Alcotest.test_case "cauchy bound contains the roots" `Quick (fun () ->
+        (* (x-1)(x-2)(x-3) = -6 + 11x - 6x^2 + x^3 *)
+        let p = [| -6.; 11.; -6.; 1. |] in
+        check_bool "bound" true (cauchy_bound p >= 3.));
+    Alcotest.test_case "linear root" `Quick (fun () ->
+        Alcotest.(check (array (float 1e-12))) "roots" [| 2.5 |] (real_roots [| -5.; 2. |]));
+    Alcotest.test_case "distinct real roots" `Quick (fun () ->
+        let p = [| -6.; 11.; -6.; 1. |] in
+        Alcotest.(check (array (float 1e-9))) "roots" [| 1.; 2.; 3. |] (real_roots p));
+    Alcotest.test_case "negative real roots" `Quick (fun () ->
+        (* (x+0.5)(x+4) = 2 + 4.5x + x^2 *)
+        Alcotest.(check (array (float 1e-9))) "roots" [| -4.; -0.5 |]
+          (real_roots [| 2.; 4.5; 1. |]));
+    Alcotest.test_case "double root reported once" `Quick (fun () ->
+        (* (x-1)^2 = 1 - 2x + x^2 *)
+        let roots = real_roots [| 1.; -2.; 1. |] in
+        Alcotest.(check int) "count" 1 (Array.length roots);
+        check_close ~eps:1e-6 "value" 1. roots.(0));
+    Alcotest.test_case "no real roots" `Quick (fun () ->
+        Alcotest.(check int) "count" 0 (Array.length (real_roots [| 1.; 0.; 1. |])));
+    Alcotest.test_case "wide dynamic range" `Quick (fun () ->
+        (* roots at -1e-3 and -1e3 *)
+        let p = [| 1.; 1000.001; 1. |] in
+        let roots = real_roots p in
+        Alcotest.(check int) "count" 2 (Array.length roots);
+        check_close ~eps:1e-6 "small" (-1000.) roots.(0);
+        check_close ~eps:1e-9 "large" (-0.001) roots.(1));
+    Alcotest.test_case "zero polynomial rejected" `Quick (fun () ->
+        check_invalid "zero" (fun () -> real_roots [| 0. |]));
+  ]
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ("float_cmp", float_cmp_tests);
+      ("vector", vector_tests);
+      ("matrix", matrix_tests);
+      ("lu", lu_tests);
+      ("eigen", eigen_tests);
+      ("roots", roots_tests);
+      ("interp", interp_tests);
+      ("ode", ode_tests);
+      ("stats", stats_tests);
+      ("sparse", sparse_tests);
+      ("polynomial", polynomial_tests);
+      ("cg", cg_tests);
+    ]

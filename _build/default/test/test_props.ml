@@ -1,0 +1,405 @@
+(* Property-based tests (qcheck): the library's invariants on random
+   networks.
+
+   - the linear-time two-port algebra agrees with the direct O(n^2)
+     method on arbitrary tree expressions (E8);
+   - eq. (7) ordering holds on arbitrary networks (E5);
+   - expr <-> tree conversions preserve the characteristic times;
+   - the Penfield-Rubinstein window always contains the exact
+     (eigendecomposition) delay and response (E3 generalized);
+   - bound functions are well-formed (ordered, monotone, in range);
+   - SPICE printing round-trips.  *)
+
+let rng_values = [ 0.1; 0.5; 1.; 2.; 5.; 10.; 100. ]
+
+(* --- random tree expressions ------------------------------------------ *)
+
+let gen_leaf =
+  QCheck.Gen.(
+    let* r = oneofl (0. :: rng_values) in
+    let* c = oneofl (0. :: rng_values) in
+    return (Rctree.Expr.urc r c))
+
+let gen_expr =
+  QCheck.Gen.(
+    sized_size (int_range 1 25) (fix (fun self n ->
+        if n <= 1 then gen_leaf
+        else
+          frequency
+            [
+              (3, let* k = int_range 1 (n - 1) in
+                  let* a = self k in
+                  let* b = self (n - k) in
+                  return (Rctree.Expr.wc a b));
+              (1, let* sub = self (n - 1) in
+                  let* tail = gen_leaf in
+                  return (Rctree.Expr.wc (Rctree.Expr.wb sub) tail));
+              (1, gen_leaf);
+            ])))
+
+let arb_expr = QCheck.make gen_expr ~print:Rctree.Expr.to_string
+
+(* --- random lumped trees (positive resistances, for simulation) ------- *)
+
+type sim_case = { tree : Rctree.Tree.t; output : Rctree.Tree.node_id }
+
+let gen_sim_case =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* parents = array_size (return n) (int_range 0 1000) in
+    let* resistances = array_size (return n) (oneofl [ 0.2; 1.; 3.; 10. ]) in
+    let* caps = array_size (return n) (oneofl [ 0.; 0.5; 1.; 4. ]) in
+    let b = Rctree.Tree.Builder.create ~name:"random" () in
+    let nodes = Array.make (n + 1) (Rctree.Tree.Builder.input b) in
+    for i = 0 to n - 1 do
+      let parent = nodes.(parents.(i) mod (i + 1)) in
+      let node = Rctree.Tree.Builder.add_resistor b ~parent resistances.(i) in
+      Rctree.Tree.Builder.add_capacitance b node caps.(i);
+      nodes.(i + 1) <- node
+    done;
+    let* output_pick = int_range 1 n in
+    let output = nodes.(output_pick) in
+    (* guarantee transient activity at the output *)
+    Rctree.Tree.Builder.add_capacitance b output 1.;
+    Rctree.Tree.Builder.mark_output b ~label:"out" output;
+    return { tree = Rctree.Tree.Builder.finish b; output })
+
+let arb_sim_case =
+  QCheck.make gen_sim_case ~print:(fun { tree; output } ->
+      Format.asprintf "%a output=%d" Rctree.Tree.pp tree output)
+
+let close ?(rtol = 1e-9) a b = Numeric.Float_cmp.approx_eq ~rtol ~atol:1e-12 a b
+
+let times_agree ?(rtol = 1e-9) (a : Rctree.Times.t) (b : Rctree.Times.t) =
+  close ~rtol a.Rctree.Times.t_p b.Rctree.Times.t_p
+  && close ~rtol a.Rctree.Times.t_d b.Rctree.Times.t_d
+  && close ~rtol a.Rctree.Times.t_r b.Rctree.Times.t_r
+
+let algebra_props =
+  [
+    QCheck.Test.make ~count:300 ~name:"algebra equals direct moments" arb_expr (fun e ->
+        let tree = Rctree.Convert.tree_of_expr e in
+        let out = Rctree.Tree.output_named tree "out" in
+        times_agree (Rctree.Expr.times e) (Rctree.Moments.times_direct tree ~output:out));
+    QCheck.Test.make ~count:300 ~name:"fast moments equal direct moments" arb_expr (fun e ->
+        let tree = Rctree.Convert.tree_of_expr e in
+        let out = Rctree.Tree.output_named tree "out" in
+        times_agree (Rctree.Moments.times tree ~output:out)
+          (Rctree.Moments.times_direct tree ~output:out));
+    QCheck.Test.make ~count:300 ~name:"eq.(7): T_R <= T_D <= T_P" arb_expr (fun e ->
+        Rctree.Times.check (Rctree.Expr.times e));
+    QCheck.Test.make ~count:300 ~name:"expr_of_tree round-trips the times" arb_expr (fun e ->
+        let tree = Rctree.Convert.tree_of_expr e in
+        let out = Rctree.Tree.output_named tree "out" in
+        let e2 = Rctree.Convert.expr_of_tree tree ~output:out in
+        times_agree (Rctree.Expr.times e) (Rctree.Expr.times e2));
+    QCheck.Test.make ~count:300 ~name:"total capacitance preserved by conversion" arb_expr
+      (fun e ->
+        let tree = Rctree.Convert.tree_of_expr e in
+        close (Rctree.Expr.eval e).Rctree.Twoport.c_total (Rctree.Tree.total_capacitance tree));
+    QCheck.Test.make ~count:300 ~name:"cascade associativity"
+      (QCheck.triple arb_expr arb_expr arb_expr)
+      (fun (a, b, c) ->
+        let open Rctree in
+        let t1 = Twoport.cascade (Twoport.cascade (Expr.eval a) (Expr.eval b)) (Expr.eval c) in
+        let t2 = Twoport.cascade (Expr.eval a) (Twoport.cascade (Expr.eval b) (Expr.eval c)) in
+        Twoport.equal t1 t2);
+    QCheck.Test.make ~count:300 ~name:"all_times agrees with per-output times everywhere" arb_expr
+      (fun e ->
+        let tree = Rctree.Convert.tree_of_expr e in
+        let all = Rctree.Moments.all_times tree in
+        let ok = ref true in
+        Rctree.Tree.iter_nodes tree ~f:(fun id ->
+            if not (times_agree ~rtol:1e-7 all.(id) (Rctree.Moments.times tree ~output:id)) then
+              ok := false);
+        !ok);
+    QCheck.Test.make ~count:200 ~name:"pi lumping preserves the Elmore delay" arb_expr (fun e ->
+        let tree = Rctree.Convert.tree_of_expr e in
+        let out = Rctree.Tree.output_named tree "out" in
+        let lumped = Rctree.Lump.discretize ~segments:3 tree in
+        let out' = Rctree.Tree.output_named lumped "out" in
+        close ~rtol:1e-6
+          (Rctree.Moments.elmore tree ~output:out)
+          (Rctree.Moments.elmore lumped ~output:out'));
+  ]
+
+let bounds_props =
+  let thresholds = [ 0.05; 0.3; 0.5; 0.8; 0.95 ] in
+  [
+    QCheck.Test.make ~count:300 ~name:"t_min <= t_max at every threshold" arb_expr (fun e ->
+        let ts = Rctree.Expr.times e in
+        List.for_all (fun v -> Rctree.Bounds.t_min ts v <= Rctree.Bounds.t_max ts v) thresholds);
+    QCheck.Test.make ~count:300 ~name:"v_min <= v_max at every time" arb_expr (fun e ->
+        let ts = Rctree.Expr.times e in
+        let horizon = Float.max 1. (4. *. ts.Rctree.Times.t_p) in
+        List.for_all
+          (fun k ->
+            let t = horizon *. float_of_int k /. 8. in
+            Rctree.Bounds.v_min ts t <= Rctree.Bounds.v_max ts t)
+          [ 0; 1; 2; 4; 8 ]);
+    QCheck.Test.make ~count:200 ~name:"voltage bounds are monotone in t" arb_expr (fun e ->
+        let ts = Rctree.Expr.times e in
+        let horizon = Float.max 1. (4. *. ts.Rctree.Times.t_p) in
+        let samples = List.init 16 (fun k -> horizon *. float_of_int k /. 15.) in
+        let rec mono f = function
+          | a :: (b :: _ as rest) -> f a <= f b +. 1e-12 && mono f rest
+          | [ _ ] | [] -> true
+        in
+        mono (Rctree.Bounds.v_min ts) samples && mono (Rctree.Bounds.v_max ts) samples);
+    QCheck.Test.make ~count:200 ~name:"certify consistent with the window" arb_expr (fun e ->
+        let ts = Rctree.Expr.times e in
+        let lo = Rctree.Bounds.t_min ts 0.5 and hi = Rctree.Bounds.t_max ts 0.5 in
+        Rctree.Bounds.equal_verdict (Rctree.Bounds.certify ts ~threshold:0.5 ~deadline:hi)
+          Rctree.Bounds.Pass
+        && (lo = 0.
+           || Rctree.Bounds.equal_verdict
+                (Rctree.Bounds.certify ts ~threshold:0.5 ~deadline:(lo /. 2.))
+                Rctree.Bounds.Fail));
+  ]
+
+let simulation_props =
+  [
+    QCheck.Test.make ~count:60 ~name:"exact delay inside the certified window" arb_sim_case
+      (fun { tree; output } ->
+        let ts = Rctree.Moments.times tree ~output in
+        let exact = Circuit.Measure.exact_delay tree ~output ~threshold:0.5 in
+        Rctree.Bounds.t_min ts 0.5 -. 1e-9 <= exact
+        && exact <= Rctree.Bounds.t_max ts 0.5 +. 1e-9);
+    QCheck.Test.make ~count:60 ~name:"exact response between the voltage bounds" arb_sim_case
+      (fun { tree; output } ->
+        let ts = Rctree.Moments.times tree ~output in
+        let horizon = Float.max 1. (3. *. ts.Rctree.Times.t_p) in
+        let times = Array.init 12 (fun k -> horizon *. float_of_int k /. 11.) in
+        Circuit.Measure.bounds_hold tree ~output ~times);
+    QCheck.Test.make ~count:60 ~name:"area identity: Elmore = area above response" arb_sim_case
+      (fun { tree; output } ->
+        close ~rtol:1e-7
+          (Rctree.Moments.elmore tree ~output)
+          (Circuit.Measure.elmore_by_area tree ~output));
+    QCheck.Test.make ~count:40 ~name:"transient tracks the eigendecomposition" arb_sim_case
+      (fun { tree; output } ->
+        let ex = Circuit.Exact.of_tree tree in
+        let tau = Circuit.Exact.dominant_time_constant ex in
+        let r =
+          Circuit.Transient.simulate tree ~dt:(tau /. 200.) ~t_end:tau
+            ~input:Circuit.Transient.step_input
+        in
+        let w = Circuit.Transient.waveform r ~node:output in
+        let t_check = tau /. 2. in
+        Float.abs (Circuit.Waveform.value_at w t_check -. Circuit.Exact.voltage ex ~node:output t_check)
+        < 1e-3);
+  ]
+
+let extension_props =
+  [
+    QCheck.Test.make ~count:60 ~name:"moment recursion matches the eigendecomposition"
+      arb_sim_case
+      (fun { tree; output } ->
+        let ex = Circuit.Exact.of_tree tree in
+        let m = Rctree.Higher_moments.output_moments tree ~output ~order:3 in
+        let rec ok j =
+          j > 3
+          || (close ~rtol:1e-6 m.(j) (Circuit.Exact.transfer_moment ex ~node:output j) && ok (j + 1))
+        in
+        ok 0);
+    QCheck.Test.make ~count:60 ~name:"two-pole delay estimate falls inside the PR window"
+      arb_sim_case
+      (fun { tree; output } ->
+        let ts = Rctree.Moments.times tree ~output in
+        let d = Rctree.Higher_moments.delay_estimate tree ~output ~threshold:0.5 in
+        Rctree.Bounds.t_min ts 0.5 -. 1e-9 <= d && d <= Rctree.Bounds.t_max ts 0.5 +. 1e-9);
+    QCheck.Test.make ~count:60 ~name:"two-pole model closer to exact than Elmore-as-delay"
+      arb_sim_case
+      (fun { tree; output } ->
+        let exact = Circuit.Exact.delay (Circuit.Exact.of_tree tree) ~node:output ~threshold:0.5 in
+        let two_pole = Rctree.Higher_moments.delay_estimate tree ~output ~threshold:0.5 in
+        let elmore = Rctree.Moments.elmore tree ~output in
+        Float.abs (two_pole -. exact) <= Float.abs (elmore -. exact) +. 1e-9);
+    QCheck.Test.make ~count:40 ~name:"ramp response bounds bracket the simulated ramp"
+      arb_sim_case
+      (fun { tree; output } ->
+        let ts = Rctree.Moments.times tree ~output in
+        let rise = Float.max 0.5 ts.Rctree.Times.t_d in
+        let input = Rctree.Excitation.ramp ~rise_time:rise in
+        let ex = Circuit.Exact.of_tree tree in
+        let tau = Circuit.Exact.dominant_time_constant ex in
+        let r =
+          Circuit.Transient.simulate tree
+            ~dt:(Float.min (rise /. 50.) (tau /. 50.))
+            ~t_end:(rise +. (3. *. Float.max tau 1e-3))
+            ~input:(Circuit.Transient.ramp_input ~rise_time:rise)
+        in
+        let w = Circuit.Transient.waveform r ~node:output in
+        List.for_all
+          (fun k ->
+            let t = (rise +. (3. *. tau)) *. float_of_int k /. 6. in
+            let lo, hi = Rctree.Excitation.response_bounds ts input t in
+            let v = Circuit.Waveform.value_at w t in
+            lo -. 2e-3 <= v && v <= hi +. 2e-3)
+          [ 1; 2; 3; 4; 5 ]);
+    QCheck.Test.make ~count:60 ~name:"dc gain is 1 and magnitude never exceeds it"
+      arb_sim_case
+      (fun { tree; output } ->
+        let ac = Circuit.Ac.of_tree tree in
+        close ~rtol:1e-9 1. (Circuit.Ac.dc_gain ac ~node:output)
+        && List.for_all
+             (fun omega -> Circuit.Ac.magnitude ac ~node:output omega <= 1. +. 1e-9)
+             [ 0.01; 1.; 100. ]);
+  ]
+
+(* decorate deck text with legal noise: tabs, comments, case changes *)
+let decorate_deck st text =
+  let lines = String.split_on_char '\n' text in
+  let decorate line =
+    if line = "" then line
+    else begin
+      let line =
+        match Random.State.int st 4 with
+        | 0 -> line ^ " ; trailing comment"
+        | 1 -> "  " ^ line
+        | 2 -> String.map (fun c -> if c = ' ' then '\t' else c) line
+        | _ -> line
+      in
+      (* uppercase only the card letter: node names are case-sensitive *)
+      if Random.State.bool st && String.length line > 0 && line.[0] <> '.' && line.[0] <> '*'
+      then String.make 1 (Char.uppercase_ascii line.[0]) ^ String.sub line 1 (String.length line - 1)
+      else line
+    end
+  in
+  let noise = [ "* interleaved comment"; "" ] in
+  String.concat "\n" (List.concat_map (fun l -> decorate l :: (if Random.State.int st 3 = 0 then noise else [])) lines)
+
+let spice_props =
+  [
+    QCheck.Test.make ~count:100 ~name:"parser survives formatting noise" arb_expr (fun e ->
+        let tree = Rctree.Convert.tree_of_expr e in
+        let out = Rctree.Tree.output_named tree "out" in
+        let st = Random.State.make [| Hashtbl.hash (Rctree.Expr.to_string e) |] in
+        let noisy = decorate_deck st (Spice.Printer.to_string tree) in
+        match Spice.Parser.parse_string noisy with
+        | Error _ -> false
+        | Ok deck -> (
+            match Spice.Elaborate.to_tree deck with
+            | Error _ -> false
+            | Ok tree2 -> (
+                match Rctree.Tree.outputs tree2 with
+                | [ (_, out2) ] ->
+                    times_agree ~rtol:1e-9
+                      (Rctree.Moments.times tree ~output:out)
+                      (Rctree.Moments.times tree2 ~output:out2)
+                | _ -> false)));
+    QCheck.Test.make ~count:150 ~name:"deck round-trip preserves the times" arb_expr (fun e ->
+        let tree = Rctree.Convert.tree_of_expr e in
+        let out = Rctree.Tree.output_named tree "out" in
+        let text = Spice.Printer.to_string tree in
+        match Spice.Parser.parse_string text with
+        | Error _ -> false
+        | Ok deck -> (
+            match Spice.Elaborate.to_tree deck with
+            | Error _ -> false
+            | Ok tree2 ->
+                (* deck outputs are labelled by node name, not by the
+                   original output label *)
+                let out2 =
+                  match Rctree.Tree.outputs tree2 with
+                  | [ (_, id) ] -> id
+                  | _ -> -1
+                in
+                out2 >= 0
+                &&
+                times_agree ~rtol:1e-9
+                  (Rctree.Moments.times tree ~output:out)
+                  (Rctree.Moments.times tree2 ~output:out2)));
+  ]
+
+let misc_props =
+  [
+    QCheck.Test.make ~count:300 ~name:"format_si/parse_si round-trip"
+      (QCheck.make
+         QCheck.Gen.(
+           let* mantissa = float_range 1.0 999.9 in
+           let* expo = int_range (-14) 11 in
+           let* sign = bool in
+           return ((if sign then mantissa else -.mantissa) *. (10. ** float_of_int expo)))
+         ~print:string_of_float)
+      (fun x ->
+        match Rctree.Units.parse_si (Rctree.Units.format_si ~digits:9 x) with
+        | Some y -> close ~rtol:1e-6 x y
+        | None -> false);
+    QCheck.Test.make ~count:200 ~name:"real_roots recovers random real-rooted polynomials"
+      (QCheck.make
+         QCheck.Gen.(
+           let* n = int_range 1 6 in
+           list_size (return n) (float_range (-10.) (-0.01)))
+         ~print:(fun roots -> String.concat "," (List.map string_of_float roots)))
+      (fun roots ->
+        let roots = List.sort_uniq Float.compare roots in
+        (* build prod (x - r_i) *)
+        let poly =
+          List.fold_left
+            (fun acc r ->
+              let n = Array.length acc in
+              Array.init (n + 1) (fun i ->
+                  (if i < n then -.r *. acc.(i) else 0.)
+                  +. if i > 0 then acc.(i - 1) else 0.))
+            [| 1. |] roots
+        in
+        let found = Numeric.Polynomial.real_roots poly in
+        Array.length found = List.length roots
+        && List.for_all2
+             (fun expected got -> Float.abs (expected -. got) < 1e-6 *. Float.max 1. (Float.abs expected))
+             roots (Array.to_list found));
+    QCheck.Test.make ~count:30 ~name:"matrix-free simulator matches the eigendecomposition"
+      arb_sim_case
+      (fun { tree; output } ->
+        let ex = Circuit.Exact.of_tree tree in
+        let tau = Circuit.Exact.dominant_time_constant ex in
+        (* backward Euler is first order: error scales with dt/tau *)
+        let dt = tau /. 500. in
+        let ws =
+          List.assoc output
+            (Circuit.Large.step_response ~tol:1e-12 tree ~dt ~t_end:tau ~outputs:[ output ])
+        in
+        let t_check = tau /. 2. in
+        Float.abs
+          (Circuit.Waveform.value_at ws t_check -. Circuit.Exact.voltage ex ~node:output t_check)
+        < 5e-3);
+    QCheck.Test.make ~count:60 ~name:"certify verdicts consistent with the exact delay"
+      arb_sim_case
+      (fun { tree; output } ->
+        let ts = Rctree.Moments.times tree ~output in
+        let exact = Circuit.Measure.exact_delay tree ~output ~threshold:0.5 in
+        List.for_all
+          (fun factor ->
+            let deadline = exact *. factor in
+            match Rctree.Bounds.certify ts ~threshold:0.5 ~deadline with
+            | Rctree.Bounds.Pass -> exact <= deadline +. 1e-9
+            | Rctree.Bounds.Fail -> exact > deadline -. 1e-9
+            | Rctree.Bounds.Unknown -> true)
+          [ 0.3; 0.8; 1.0; 1.3; 3.0 ]);
+    QCheck.Test.make ~count:60 ~name:"falling bounds bracket the mirrored response"
+      arb_sim_case
+      (fun { tree; output } ->
+        let ts = Rctree.Moments.times tree ~output in
+        let ex = Circuit.Exact.of_tree tree in
+        let tau = Circuit.Exact.dominant_time_constant ex in
+        List.for_all
+          (fun k ->
+            let t = tau *. float_of_int k /. 2. in
+            let v_fall = 1. -. Circuit.Exact.voltage ex ~node:output t in
+            let lo, hi = Rctree.Transition.voltage_bounds ts Rctree.Transition.Falling t in
+            lo -. 1e-9 <= v_fall && v_fall <= hi +. 1e-9)
+          [ 0; 1; 2; 4; 8 ]);
+  ]
+
+let () =
+  let to_alcotest = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "props"
+    [
+      ("algebra", to_alcotest algebra_props);
+      ("bounds", to_alcotest bounds_props);
+      ("simulation", to_alcotest simulation_props);
+      ("extensions", to_alcotest extension_props);
+      ("spice", to_alcotest spice_props);
+      ("misc", to_alcotest misc_props);
+    ]

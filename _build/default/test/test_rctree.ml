@@ -1,0 +1,669 @@
+(* Unit tests for the rctree core library: units, elements, times, the
+   two-port algebra, expressions, trees, paths, moments, conversion,
+   lumping and validation. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-9) msg a b = Alcotest.(check (float eps)) msg a b
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let check_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let check_times msg (expected : Rctree.Times.t) (actual : Rctree.Times.t) =
+  check_close ~eps:1e-9 (msg ^ ".t_p") expected.Rctree.Times.t_p actual.Rctree.Times.t_p;
+  check_close ~eps:1e-9 (msg ^ ".t_d") expected.Rctree.Times.t_d actual.Rctree.Times.t_d;
+  check_close ~eps:1e-9 (msg ^ ".t_r") expected.Rctree.Times.t_r actual.Rctree.Times.t_r
+
+(* --- Units ---------------------------------------------------------- *)
+
+let units_tests =
+  let open Rctree.Units in
+  let parse s = Option.get (parse_si s) in
+  [
+    Alcotest.test_case "format plain" `Quick (fun () -> check_string "s" "15" (format_si 15.));
+    Alcotest.test_case "format kilo" `Quick (fun () -> check_string "s" "1.5k" (format_si 1500.));
+    Alcotest.test_case "format pico" `Quick (fun () -> check_string "s" "10p" (format_si 1e-11));
+    Alcotest.test_case "format zero" `Quick (fun () -> check_string "s" "0" (format_si 0.));
+    Alcotest.test_case "format negative" `Quick (fun () ->
+        check_string "s" "-2.2n" (format_si (-2.2e-9)));
+    Alcotest.test_case "format quantity" `Quick (fun () ->
+        check_string "s" "1.5ns" (format_quantity ~unit_symbol:"s" 1.5e-9));
+    Alcotest.test_case "parse plain" `Quick (fun () -> check_float "v" 100. (parse "100"));
+    Alcotest.test_case "parse kilo" `Quick (fun () -> check_float "v" 1500. (parse "1.5k"));
+    Alcotest.test_case "parse milli vs meg" `Quick (fun () ->
+        check_float "milli" 2e-3 (parse "2m");
+        check_float "meg" 2e6 (parse "2meg");
+        check_float "MEG case" 2e6 (parse "2MEG");
+        check_float "SI mega" 2e6 (parse "2M"));
+    Alcotest.test_case "parse pico with unit letters" `Quick (fun () ->
+        check_close ~eps:1e-18 "v" 1e-11 (parse "10pF"));
+    Alcotest.test_case "parse micro" `Quick (fun () -> check_close ~eps:1e-12 "v" 3e-6 (parse "3u"));
+    Alcotest.test_case "parse exponent form" `Quick (fun () ->
+        check_close ~eps:1e-12 "v" 2.5e-3 (parse "2.5e-3"));
+    Alcotest.test_case "parse negative number" `Quick (fun () -> check_float "v" (-5.) (parse "-5"));
+    Alcotest.test_case "parse garbage" `Quick (fun () ->
+        check_bool "none" true (parse_si "xyz" = None);
+        check_bool "none" true (parse_si "" = None));
+    Alcotest.test_case "ohms per square" `Quick (fun () ->
+        check_float "r" 180. (ohms_per_square ~sheet:30. ~squares:6.));
+    Alcotest.test_case "ohms per square negative raises" `Quick (fun () ->
+        check_invalid "neg" (fun () -> ohms_per_square ~sheet:(-1.) ~squares:6.));
+  ]
+
+(* --- Element -------------------------------------------------------- *)
+
+let element_tests =
+  let open Rctree.Element in
+  [
+    Alcotest.test_case "resistor accessors" `Quick (fun () ->
+        let e = resistor 10. in
+        check_float "r" 10. (resistance e);
+        check_float "c" 0. (capacitance e));
+    Alcotest.test_case "capacitor accessors" `Quick (fun () ->
+        let e = capacitor 2. in
+        check_float "r" 0. (resistance e);
+        check_float "c" 2. (capacitance e));
+    Alcotest.test_case "line accessors" `Quick (fun () ->
+        let e = line ~resistance:3. ~capacitance:4. in
+        check_float "r" 3. (resistance e);
+        check_float "c" 4. (capacitance e);
+        check_bool "distributed" true (is_distributed e));
+    Alcotest.test_case "line reduces to resistor" `Quick (fun () ->
+        check_bool "eq" true (equal (line ~resistance:5. ~capacitance:0.) (resistor 5.)));
+    Alcotest.test_case "line reduces to capacitor" `Quick (fun () ->
+        check_bool "eq" true (equal (line ~resistance:0. ~capacitance:5.) (capacitor 5.)));
+    Alcotest.test_case "of_urc is line" `Quick (fun () ->
+        check_bool "eq" true
+          (equal (of_urc ~resistance:1. ~capacitance:2.) (line ~resistance:1. ~capacitance:2.)));
+    Alcotest.test_case "lumped are not distributed" `Quick (fun () ->
+        check_bool "r" false (is_distributed (resistor 1.));
+        check_bool "c" false (is_distributed (capacitor 1.)));
+    Alcotest.test_case "negative values raise" `Quick (fun () ->
+        check_invalid "r" (fun () -> resistor (-1.));
+        check_invalid "c" (fun () -> capacitor (-1.));
+        check_invalid "line" (fun () -> line ~resistance:(-1.) ~capacitance:1.));
+    Alcotest.test_case "nan raises" `Quick (fun () ->
+        check_invalid "nan" (fun () -> resistor Float.nan));
+    Alcotest.test_case "equality distinguishes kinds" `Quick (fun () ->
+        check_bool "neq" false (equal (resistor 0.) (capacitor 0.)));
+  ]
+
+(* --- Times ----------------------------------------------------------- *)
+
+let times_tests =
+  let open Rctree.Times in
+  [
+    Alcotest.test_case "make stores values" `Quick (fun () ->
+        let t = make ~t_p:3. ~t_d:2. ~t_r:1. in
+        check_float "tp" 3. t.t_p;
+        check_float "td" 2. t.t_d;
+        check_float "tr" 1. t.t_r);
+    Alcotest.test_case "ordering violation raises" `Quick (fun () ->
+        check_invalid "order" (fun () -> make ~t_p:1. ~t_d:2. ~t_r:0.5);
+        check_invalid "order" (fun () -> make ~t_p:3. ~t_d:1. ~t_r:2.));
+    Alcotest.test_case "negative raises" `Quick (fun () ->
+        check_invalid "neg" (fun () -> make ~t_p:1. ~t_d:(-1.) ~t_r:0.));
+    Alcotest.test_case "rounding-level violation tolerated" `Quick (fun () ->
+        let t = make ~t_p:1. ~t_d:(1. +. 1e-13) ~t_r:0.5 in
+        check_bool "ok" true (check t));
+    Alcotest.test_case "single line constants" `Quick (fun () ->
+        (* the paper: T_P = T_De = RC/2 and T_Re = RC/3 for one line *)
+        let t = single_line ~resistance:2. ~capacitance:3. in
+        check_float "tp" 3. t.t_p;
+        check_float "td" 3. t.t_d;
+        check_float "tr" 2. t.t_r);
+    Alcotest.test_case "degenerate detection" `Quick (fun () ->
+        check_bool "deg" true (is_degenerate (make ~t_p:0. ~t_d:0. ~t_r:0.));
+        check_bool "live" false (is_degenerate (make ~t_p:1. ~t_d:1. ~t_r:0.5)));
+    Alcotest.test_case "equal with tolerance" `Quick (fun () ->
+        let a = make ~t_p:1. ~t_d:0.5 ~t_r:0.25 in
+        let b = make ~t_p:(1. +. 1e-12) ~t_d:0.5 ~t_r:0.25 in
+        check_bool "eq" true (equal a b));
+  ]
+
+(* --- Twoport: the eqs. (19)-(28) algebra ------------------------------ *)
+
+let twoport_tests =
+  let open Rctree.Twoport in
+  [
+    Alcotest.test_case "urc constants" `Quick (fun () ->
+        let u = urc ~resistance:6. ~capacitance:2. in
+        check_float "ct" 2. u.c_total;
+        check_float "tp" 6. u.t_p;
+        check_float "r22" 6. u.r22;
+        check_float "td2" 6. u.t_d2;
+        check_float "tr2r22" 24. u.t_r2_r22;
+        check_float "tr2" 4. (t_r2 u));
+    Alcotest.test_case "lumped resistor" `Quick (fun () ->
+        let u = urc ~resistance:5. ~capacitance:0. in
+        check_float "ct" 0. u.c_total;
+        check_float "r22" 5. u.r22;
+        check_float "td2" 0. u.t_d2);
+    Alcotest.test_case "lumped capacitor" `Quick (fun () ->
+        let u = urc ~resistance:0. ~capacitance:5. in
+        check_float "ct" 5. u.c_total;
+        check_float "r22" 0. u.r22;
+        check_float "tr2" 0. (t_r2 u));
+    Alcotest.test_case "negative raises" `Quick (fun () ->
+        check_invalid "urc" (fun () -> urc ~resistance:(-1.) ~capacitance:0.));
+    Alcotest.test_case "empty is cascade identity" `Quick (fun () ->
+        let u = urc ~resistance:3. ~capacitance:4. in
+        check_bool "left" true (equal (cascade empty u) u);
+        check_bool "right" true (equal (cascade u empty) u));
+    Alcotest.test_case "branch zeroes port quantities" `Quick (fun () ->
+        let u = branch (urc ~resistance:3. ~capacitance:4.) in
+        check_float "ct" 4. u.c_total;
+        check_float "tp" 6. u.t_p;
+        check_float "r22" 0. u.r22;
+        check_float "td2" 0. u.t_d2;
+        check_float "tr2r22" 0. u.t_r2_r22);
+    Alcotest.test_case "cascade R then C by hand" `Quick (fun () ->
+        (* R=10 then C=2 at the far node: T_P = T_D2 = 20, T_R2 = 20 *)
+        let u =
+          cascade (urc ~resistance:10. ~capacitance:0.) (urc ~resistance:0. ~capacitance:2.)
+        in
+        check_float "ct" 2. u.c_total;
+        check_float "tp" 20. u.t_p;
+        check_float "r22" 10. u.r22;
+        check_float "td2" 20. u.t_d2;
+        check_float "tr2" 20. (t_r2 u));
+    Alcotest.test_case "cascade eq.(23) cross term" `Quick (fun () ->
+        (* R=10 then line (R=6, C=2):
+           T_R2*R22 = 0 + 24 + 2*10*6 + 100*2 = 344 *)
+        let u =
+          cascade (urc ~resistance:10. ~capacitance:0.) (urc ~resistance:6. ~capacitance:2.)
+        in
+        check_float "tr2r22" 344. u.t_r2_r22;
+        check_float "r22" 16. u.r22;
+        check_float "td2" 26. u.t_d2);
+    Alcotest.test_case "cascade is associative" `Quick (fun () ->
+        let a = urc ~resistance:1. ~capacitance:2. in
+        let b = urc ~resistance:3. ~capacitance:4. in
+        let c = urc ~resistance:5. ~capacitance:6. in
+        check_bool "assoc" true (equal (cascade (cascade a b) c) (cascade a (cascade b c))));
+    Alcotest.test_case "times satisfies eq.(7)" `Quick (fun () ->
+        let u =
+          cascade
+            (cascade (urc ~resistance:2. ~capacitance:1.)
+               (branch (urc ~resistance:4. ~capacitance:3.)))
+            (urc ~resistance:1. ~capacitance:5.)
+        in
+        check_bool "ordering" true (Rctree.Times.check (times u)));
+    Alcotest.test_case "of_element matches urc" `Quick (fun () ->
+        check_bool "line" true
+          (equal
+             (of_element (Rctree.Element.line ~resistance:6. ~capacitance:2.))
+             (urc ~resistance:6. ~capacitance:2.)));
+  ]
+
+(* --- Expr -------------------------------------------------------------- *)
+
+let expr_tests =
+  let open Rctree.Expr in
+  [
+    Alcotest.test_case "fig7 five-tuple" `Quick (fun () ->
+        let tp = eval fig7 in
+        check_float "ct" 22. tp.Rctree.Twoport.c_total;
+        check_float "tp" 419. tp.Rctree.Twoport.t_p;
+        check_float "r22" 18. tp.Rctree.Twoport.r22;
+        check_float "td2" 363. tp.Rctree.Twoport.t_d2;
+        check_close "tr2" (6033. /. 18.) (Rctree.Twoport.t_r2 tp));
+    Alcotest.test_case "size counts leaves" `Quick (fun () -> check_int "n" 6 (size fig7));
+    Alcotest.test_case "pp uses paper notation" `Quick (fun () ->
+        check_string "s" "(URC 15 0) WC (URC 0 2)" (to_string (urc 15. 0. @> urc 0. 2.)));
+    Alcotest.test_case "wb printed" `Quick (fun () ->
+        check_string "s" "(WB (URC 8 0) WC (URC 0 7))" (to_string (wb (urc 8. 0. @> urc 0. 7.))));
+    Alcotest.test_case "cascade_all" `Quick (fun () ->
+        let e = cascade_all [ urc 1. 0.; urc 0. 2.; urc 3. 4. ] in
+        check_int "n" 3 (size e));
+    Alcotest.test_case "cascade_all empty raises" `Quick (fun () ->
+        check_invalid "empty" (fun () -> cascade_all []));
+    Alcotest.test_case "negative urc raises" `Quick (fun () ->
+        check_invalid "neg" (fun () -> urc (-1.) 0.));
+    Alcotest.test_case "resistor capacitor shorthands" `Quick (fun () ->
+        check_bool "r" true (resistor 5. = urc 5. 0.);
+        check_bool "c" true (capacitor 5. = urc 0. 5.));
+    Alcotest.test_case "pla_line size grows with minterms" `Quick (fun () ->
+        check_int "n0" 2 (size (pla_line 0));
+        check_int "n2" 4 (size (pla_line 2));
+        check_int "n10" 12 (size (pla_line 10));
+        check_int "n3" 6 (size (pla_line 3)));
+    Alcotest.test_case "pla_line negative raises" `Quick (fun () ->
+        check_invalid "neg" (fun () -> pla_line (-1)));
+    Alcotest.test_case "times of a single line" `Quick (fun () ->
+        let t = times (urc 2. 3.) in
+        check_times "line" (Rctree.Times.single_line ~resistance:2. ~capacitance:3.) t);
+  ]
+
+(* --- Tree builder and queries ------------------------------------------ *)
+
+(* the Fig. 7 network built by hand; returns (tree, node ids) *)
+let build_fig7 () =
+  let open Rctree.Tree.Builder in
+  let b = create ~name:"fig7" () in
+  let input = input b in
+  let a = add_resistor b ~parent:input ~name:"a" 15. in
+  add_capacitance b a 2.;
+  let side = add_resistor b ~parent:a ~name:"b" 8. in
+  add_capacitance b side 7.;
+  let e = add_line b ~parent:a ~name:"e" 3. 4. in
+  add_capacitance b e 9.;
+  mark_output b ~label:"e" e;
+  (finish b, a, side, e)
+
+let tree_tests =
+  let open Rctree.Tree in
+  [
+    Alcotest.test_case "structure of fig7" `Quick (fun () ->
+        let t, a, side, e = build_fig7 () in
+        check_int "nodes" 4 (node_count t);
+        check_bool "parent a" true (parent t a = Some (input t));
+        check_bool "parent b" true (parent t side = Some a);
+        check_bool "parent input" true (parent t (input t) = None);
+        Alcotest.(check (list int)) "children of a" [ side; e ] (children t a));
+    Alcotest.test_case "elements" `Quick (fun () ->
+        let t, a, _, e = build_fig7 () in
+        check_bool "input none" true (element t (input t) = None);
+        check_bool "a resistor" true (element t a = Some (Rctree.Element.resistor 15.));
+        check_bool "e line" true
+          (element t e = Some (Rctree.Element.line ~resistance:3. ~capacitance:4.)));
+    Alcotest.test_case "capacitance accumulates" `Quick (fun () ->
+        let b = Builder.create () in
+        let n = Builder.add_resistor b ~parent:(Builder.input b) 1. in
+        Builder.add_capacitance b n 2.;
+        Builder.add_capacitance b n 3.;
+        check_float "c" 5. (capacitance (Builder.finish b) n));
+    Alcotest.test_case "negative capacitance raises" `Quick (fun () ->
+        let b = Builder.create () in
+        check_invalid "neg" (fun () -> Builder.add_capacitance b (Builder.input b) (-1.)));
+    Alcotest.test_case "capacitor element edge rejected" `Quick (fun () ->
+        let b = Builder.create () in
+        check_invalid "cap edge" (fun () ->
+            Builder.add_node b ~parent:(Builder.input b) (Rctree.Element.capacitor 1.)));
+    Alcotest.test_case "bad parent raises" `Quick (fun () ->
+        let b = Builder.create () in
+        check_invalid "parent" (fun () -> Builder.add_resistor b ~parent:42 1.));
+    Alcotest.test_case "pure-capacitor line folds into parent" `Quick (fun () ->
+        let b = Builder.create () in
+        let n = Builder.add_line b ~parent:(Builder.input b) 0. 5. in
+        check_int "same node" (Builder.input b) n;
+        check_float "c" 5. (capacitance (Builder.finish b) n));
+    Alcotest.test_case "outputs and labels" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        check_bool "named" true (output_named t "e" = e);
+        check_bool "is_output" true (is_output t e);
+        check_bool "not output" false (is_output t (input t)));
+    Alcotest.test_case "marking is idempotent per label, aliases allowed" `Quick (fun () ->
+        let b = Builder.create () in
+        let n = Builder.add_resistor b ~parent:(Builder.input b) 1. in
+        Builder.mark_output b ~label:"first" n;
+        Builder.mark_output b ~label:"first" n;
+        Builder.mark_output b ~label:"second" n;
+        let t = Builder.finish b in
+        check_int "two labels" 2 (List.length (outputs t));
+        check_bool "first" true (output_named t "first" = n);
+        check_bool "second" true (output_named t "second" = n));
+    Alcotest.test_case "find_node" `Quick (fun () ->
+        let t, a, _, _ = build_fig7 () in
+        check_bool "found" true (find_node t "a" = Some a);
+        check_bool "missing" true (find_node t "zz" = None));
+    Alcotest.test_case "depth" `Quick (fun () ->
+        let t, a, side, _ = build_fig7 () in
+        check_int "input" 0 (depth t (input t));
+        check_int "a" 1 (depth t a);
+        check_int "b" 2 (depth t side));
+    Alcotest.test_case "totals include distributed parts" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        check_float "cap" 22. (total_capacitance t);
+        check_float "res" 26. (total_resistance t));
+    Alcotest.test_case "has_distributed_lines" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        check_bool "yes" true (has_distributed_lines t);
+        let b = Builder.create () in
+        let (_ : node_id) = Builder.add_resistor b ~parent:(Builder.input b) 1. in
+        check_bool "no" false (has_distributed_lines (Builder.finish b)));
+    Alcotest.test_case "fold visits parents before children" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        let seen = Hashtbl.create 8 in
+        let ok =
+          fold_nodes t ~init:true ~f:(fun acc id ->
+              Hashtbl.replace seen id ();
+              acc && match parent t id with None -> true | Some p -> Hashtbl.mem seen p)
+        in
+        check_bool "order" true ok);
+    Alcotest.test_case "builder reusable after finish" `Quick (fun () ->
+        let b = Builder.create () in
+        let n1 = Builder.add_resistor b ~parent:(Builder.input b) 1. in
+        let t1 = Builder.finish b in
+        let (_ : node_id) = Builder.add_resistor b ~parent:n1 2. in
+        let t2 = Builder.finish b in
+        check_int "t1 frozen" 2 (node_count t1);
+        check_int "t2 grew" 3 (node_count t2));
+  ]
+
+(* --- Path: the Fig. 3 resistance definitions ---------------------------- *)
+
+(* Fig. 3 analogue: input -1- n1 -2- m; m -4- k; m -16- e.
+   R_ke = 3, R_kk = 7, R_ee = 19. *)
+let build_fig3 () =
+  let open Rctree.Tree.Builder in
+  let b = create ~name:"fig3" () in
+  let n1 = add_resistor b ~parent:(input b) ~name:"n1" 1. in
+  let m = add_resistor b ~parent:n1 ~name:"m" 2. in
+  let k = add_resistor b ~parent:m ~name:"k" 4. in
+  let e = add_resistor b ~parent:m ~name:"e" 16. in
+  add_capacitance b k 1.;
+  add_capacitance b e 1.;
+  mark_output b ~label:"e" e;
+  (finish b, k, e, m)
+
+let path_tests =
+  let open Rctree.Path in
+  [
+    Alcotest.test_case "resistance_to_root (R_kk)" `Quick (fun () ->
+        let t, k, e, m = build_fig3 () in
+        check_float "Rkk" 7. (resistance_to_root t k);
+        check_float "Ree" 19. (resistance_to_root t e);
+        check_float "Rmm" 3. (resistance_to_root t m);
+        check_float "root" 0. (resistance_to_root t (Rctree.Tree.input t)));
+    Alcotest.test_case "all_resistances_to_root agrees" `Quick (fun () ->
+        let t, _, _, _ = build_fig3 () in
+        let all = all_resistances_to_root t in
+        Rctree.Tree.iter_nodes t ~f:(fun id ->
+            check_float ("node " ^ string_of_int id) (resistance_to_root t id) all.(id)));
+    Alcotest.test_case "lca of siblings is branch point" `Quick (fun () ->
+        let t, k, e, m = build_fig3 () in
+        check_int "lca" m (lowest_common_ancestor t k e));
+    Alcotest.test_case "lca with ancestor" `Quick (fun () ->
+        let t, k, _, m = build_fig3 () in
+        check_int "lca" m (lowest_common_ancestor t k m));
+    Alcotest.test_case "shared_resistance matches Fig. 3" `Quick (fun () ->
+        let t, k, e, _ = build_fig3 () in
+        check_float "Rke" 3. (shared_resistance t k e);
+        check_float "Rke sym" 3. (shared_resistance t e k);
+        check_float "Rkk as shared" 7. (shared_resistance t k k));
+    Alcotest.test_case "shared_resistances_to agrees with pairwise" `Quick (fun () ->
+        let t, _, e, _ = build_fig3 () in
+        let fast = shared_resistances_to t e in
+        Rctree.Tree.iter_nodes t ~f:(fun k ->
+            check_float ("node " ^ string_of_int k) (shared_resistance t k e) fast.(k)));
+    Alcotest.test_case "on_path_to marks the spine" `Quick (fun () ->
+        let t, k, e, m = build_fig3 () in
+        let marks = on_path_to t e in
+        check_bool "root" true marks.(Rctree.Tree.input t);
+        check_bool "m" true marks.(m);
+        check_bool "e" true marks.(e);
+        check_bool "k" false marks.(k));
+    Alcotest.test_case "path_to_root order" `Quick (fun () ->
+        let t, k, _, m = build_fig3 () in
+        match path_to_root t k with
+        | first :: rest ->
+            check_int "starts at k" k first;
+            check_bool "passes m" true (List.mem m rest);
+            check_int "ends at root" (Rctree.Tree.input t) (List.nth rest (List.length rest - 1))
+        | [] -> Alcotest.fail "empty path");
+  ]
+
+(* --- Moments -------------------------------------------------------------- *)
+
+let moments_tests =
+  [
+    Alcotest.test_case "fig7 hand-computed values" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        let ts = Rctree.Moments.times t ~output:e in
+        check_float "tp" 419. ts.Rctree.Times.t_p;
+        check_float "td" 363. ts.Rctree.Times.t_d;
+        check_close "tr" (6033. /. 18.) ts.Rctree.Times.t_r);
+    Alcotest.test_case "t_p matches per-output t_p" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        check_close "tp" (Rctree.Moments.t_p t) (Rctree.Moments.times t ~output:e).Rctree.Times.t_p);
+    Alcotest.test_case "fast equals direct" `Quick (fun () ->
+        let t, _, side, e = build_fig7 () in
+        check_times "e" (Rctree.Moments.times_direct t ~output:e) (Rctree.Moments.times t ~output:e);
+        check_times "b"
+          (Rctree.Moments.times_direct t ~output:side)
+          (Rctree.Moments.times t ~output:side));
+    Alcotest.test_case "off-path line contributes branch-point terms" `Quick (fun () ->
+        let open Rctree.Tree.Builder in
+        let b = create () in
+        let a = add_resistor b ~parent:(input b) ~name:"a" 10. in
+        let (_ : Rctree.Tree.node_id) = add_line b ~parent:a ~name:"side" 6. 2. in
+        mark_output b ~label:"a" a;
+        let t = finish b in
+        let ts = Rctree.Moments.times t ~output:a in
+        check_float "td" 20. ts.Rctree.Times.t_d;
+        check_float "tp" 26. ts.Rctree.Times.t_p;
+        check_float "tr" 20. ts.Rctree.Times.t_r);
+    Alcotest.test_case "on-path line integral" `Quick (fun () ->
+        let open Rctree.Tree.Builder in
+        let b = create () in
+        let out = add_line b ~parent:(input b) ~name:"out" 6. 2. in
+        mark_output b out;
+        let t = finish b in
+        check_times "line"
+          (Rctree.Times.single_line ~resistance:6. ~capacitance:2.)
+          (Rctree.Moments.times t ~output:out));
+    Alcotest.test_case "elmore equals t_d" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        check_close "elmore" 363. (Rctree.Moments.elmore t ~output:e));
+    Alcotest.test_case "quadratic_sum" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        check_close "sum" 6033. (Rctree.Moments.quadratic_sum t ~output:e));
+    Alcotest.test_case "all_output_times covers marked outputs" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        match Rctree.Moments.all_output_times t with
+        | [ (label, _, ts) ] ->
+            check_string "label" "e" label;
+            check_float "td" 363. ts.Rctree.Times.t_d
+        | other -> Alcotest.failf "expected 1 output, got %d" (List.length other));
+    Alcotest.test_case "unknown output raises" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        check_invalid "bad node" (fun () -> Rctree.Moments.times t ~output:99));
+    Alcotest.test_case "all_times agrees with per-output times" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        let all = Rctree.Moments.all_times t in
+        Rctree.Tree.iter_nodes t ~f:(fun id ->
+            check_times
+              ("node " ^ string_of_int id)
+              (Rctree.Moments.times t ~output:id)
+              all.(id)));
+    Alcotest.test_case "all_times on a pure line chain" `Quick (fun () ->
+        let open Rctree.Tree.Builder in
+        let b = create () in
+        let m = add_line b ~parent:(input b) ~name:"m" 4. 2. in
+        let e = add_line b ~parent:m ~name:"e" 6. 3. in
+        mark_output b e;
+        let t = finish b in
+        let all = Rctree.Moments.all_times t in
+        check_times "mid" (Rctree.Moments.times t ~output:m) all.(m);
+        check_times "end" (Rctree.Moments.times t ~output:e) all.(e));
+    Alcotest.test_case "output at input is degenerate" `Quick (fun () ->
+        let open Rctree.Tree.Builder in
+        let b = create () in
+        let n = add_resistor b ~parent:(input b) 5. in
+        add_capacitance b n 1.;
+        mark_output b ~label:"at-input" (input b);
+        let t = finish b in
+        let ts = Rctree.Moments.times t ~output:(Rctree.Tree.input t) in
+        check_float "td" 0. ts.Rctree.Times.t_d;
+        check_bool "degenerate" true (Rctree.Times.is_degenerate ts));
+  ]
+
+(* --- Convert ---------------------------------------------------------------- *)
+
+let convert_tests =
+  [
+    Alcotest.test_case "tree_of_expr fig7 times" `Quick (fun () ->
+        let t = Rctree.Convert.tree_of_expr Rctree.Expr.fig7 in
+        let out = Rctree.Tree.output_named t "out" in
+        check_times "fig7" (Rctree.Expr.times Rctree.Expr.fig7) (Rctree.Moments.times t ~output:out));
+    Alcotest.test_case "tree_of_expr marks single output" `Quick (fun () ->
+        let t = Rctree.Convert.tree_of_expr Rctree.Expr.fig7 in
+        check_int "outputs" 1 (List.length (Rctree.Tree.outputs t)));
+    Alcotest.test_case "expr_of_tree round-trips fig7" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        let expr = Rctree.Convert.expr_of_tree t ~output:e in
+        check_times "roundtrip" (Rctree.Moments.times t ~output:e) (Rctree.Expr.times expr));
+    Alcotest.test_case "expr_of_tree on a non-leaf output" `Quick (fun () ->
+        let t, a, _, _ = build_fig7 () in
+        let expr = Rctree.Convert.expr_of_tree t ~output:a in
+        check_times "mid" (Rctree.Moments.times t ~output:a) (Rctree.Expr.times expr));
+    Alcotest.test_case "expr_of_tree unknown node raises" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        check_invalid "bad" (fun () -> Rctree.Convert.expr_of_tree t ~output:1234));
+    Alcotest.test_case "branch expression keeps total capacitance" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        let expr = Rctree.Convert.expr_of_tree t ~output:e in
+        check_float "ct" 22. (Rctree.Expr.eval expr).Rctree.Twoport.c_total);
+  ]
+
+(* --- Lump ---------------------------------------------------------------------- *)
+
+let lump_tests =
+  [
+    Alcotest.test_case "lumped tree stays lumped" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        let l = Rctree.Lump.discretize ~segments:1 t in
+        check_bool "lumped" true (Rctree.Lump.is_lumped l);
+        check_bool "outputs survive" true (Rctree.Tree.output_named l "e" >= 0));
+    Alcotest.test_case "pi sections preserve first moment exactly" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        List.iter
+          (fun segments ->
+            let l = Rctree.Lump.discretize ~segments t in
+            let out = Rctree.Tree.output_named l "e" in
+            check_close ~eps:1e-9
+              ("td @" ^ string_of_int segments)
+              363.
+              (Rctree.Moments.times l ~output:out).Rctree.Times.t_d)
+          [ 1; 3; 16 ]);
+    Alcotest.test_case "t_r converges to the distributed value" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        let exact = (Rctree.Moments.times t ~output:e).Rctree.Times.t_r in
+        let err segments =
+          let l = Rctree.Lump.discretize ~segments t in
+          let out = Rctree.Tree.output_named l "e" in
+          Float.abs ((Rctree.Moments.times l ~output:out).Rctree.Times.t_r -. exact)
+        in
+        check_bool "decreasing" true (err 2 > err 8 && err 8 > err 32);
+        check_bool "small at 32" true (err 32 < 0.05));
+    Alcotest.test_case "L sections converge too, from further away" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        let exact = (Rctree.Moments.times t ~output:e).Rctree.Times.t_d in
+        let err scheme segments =
+          let l = Rctree.Lump.discretize ~scheme ~segments t in
+          let out = Rctree.Tree.output_named l "e" in
+          Float.abs ((Rctree.Moments.times l ~output:out).Rctree.Times.t_d -. exact)
+        in
+        check_bool "L worse than pi" true
+          (err Rctree.Lump.L_sections 4 > err Rctree.Lump.Pi_sections 4);
+        check_bool "L converging" true
+          (err Rctree.Lump.L_sections 4 > err Rctree.Lump.L_sections 16));
+    Alcotest.test_case "segment count in node count" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        let l = Rctree.Lump.discretize ~segments:8 t in
+        check_int "nodes" (4 + 7) (Rctree.Tree.node_count l));
+    Alcotest.test_case "zero segments raises" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        check_invalid "segments" (fun () -> Rctree.Lump.discretize ~segments:0 t));
+    Alcotest.test_case "names preserved" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        let l = Rctree.Lump.discretize ~segments:4 t in
+        check_bool "a kept" true (Rctree.Tree.find_node l "a" <> None);
+        check_bool "interior named" true (Rctree.Tree.find_node l "e.seg1" <> None));
+  ]
+
+(* --- Validate -------------------------------------------------------------------- *)
+
+let validate_tests =
+  let open Rctree.Validate in
+  [
+    Alcotest.test_case "fig7 is clean" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        check_int "no problems" 0 (List.length (problems t));
+        check_bool "analyzable" true (is_analyzable t));
+    Alcotest.test_case "no capacitance detected" `Quick (fun () ->
+        let b = Rctree.Tree.Builder.create () in
+        let n = Rctree.Tree.Builder.add_resistor b ~parent:(Rctree.Tree.Builder.input b) 1. in
+        Rctree.Tree.Builder.mark_output b n;
+        let t = Rctree.Tree.Builder.finish b in
+        check_bool "found" true (List.mem No_capacitance (problems t));
+        check_bool "fatal" false (is_analyzable t));
+    Alcotest.test_case "no outputs detected" `Quick (fun () ->
+        let b = Rctree.Tree.Builder.create () in
+        let n = Rctree.Tree.Builder.add_resistor b ~parent:(Rctree.Tree.Builder.input b) 1. in
+        Rctree.Tree.Builder.add_capacitance b n 1.;
+        let t = Rctree.Tree.Builder.finish b in
+        check_bool "found" true (List.mem No_outputs (problems t)));
+    Alcotest.test_case "degenerate output flagged, not fatal" `Quick (fun () ->
+        let b = Rctree.Tree.Builder.create () in
+        let n = Rctree.Tree.Builder.add_resistor b ~parent:(Rctree.Tree.Builder.input b) 1. in
+        Rctree.Tree.Builder.add_capacitance b n 1.;
+        Rctree.Tree.Builder.mark_output b ~label:"x" (Rctree.Tree.Builder.input b);
+        let t = Rctree.Tree.Builder.finish b in
+        check_bool "found" true (List.mem (Output_without_resistance "x") (problems t));
+        check_bool "tolerated" true (is_analyzable t));
+    Alcotest.test_case "dangling resistor flagged" `Quick (fun () ->
+        let b = Rctree.Tree.Builder.create () in
+        let n =
+          Rctree.Tree.Builder.add_resistor b ~parent:(Rctree.Tree.Builder.input b) ~name:"stub" 1.
+        in
+        let m = Rctree.Tree.Builder.add_resistor b ~parent:(Rctree.Tree.Builder.input b) 1. in
+        Rctree.Tree.Builder.add_capacitance b m 1.;
+        Rctree.Tree.Builder.mark_output b m;
+        let t = Rctree.Tree.Builder.finish b in
+        ignore n;
+        check_bool "found" true (List.mem (Dangling_resistor "stub") (problems t)));
+    Alcotest.test_case "check_exn raises on fatal" `Quick (fun () ->
+        let b = Rctree.Tree.Builder.create () in
+        let t = Rctree.Tree.Builder.finish b in
+        check_invalid "fatal" (fun () -> check_exn t));
+    Alcotest.test_case "check_exn passes clean tree" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        check_exn t);
+  ]
+
+(* --- top-level convenience API ------------------------------------------------------ *)
+
+let api_tests =
+  [
+    Alcotest.test_case "analyze_named" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        let ts = Rctree.analyze_named t ~output:"e" in
+        check_float "td" 363. ts.Rctree.Times.t_d);
+    Alcotest.test_case "analyze_named unknown raises" `Quick (fun () ->
+        let t, _, _, _ = build_fig7 () in
+        check_invalid "unknown" (fun () -> Rctree.analyze_named t ~output:"nope"));
+    Alcotest.test_case "delay_bounds ordering" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        let lo, hi = Rctree.delay_bounds t ~output:e ~threshold:0.5 in
+        check_bool "lo<=hi" true (lo <= hi));
+    Alcotest.test_case "voltage_bounds ordering" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        let lo, hi = Rctree.voltage_bounds t ~output:e ~time:100. in
+        check_bool "lo<=hi" true (lo <= hi));
+    Alcotest.test_case "elmore_delay" `Quick (fun () ->
+        let t, _, _, e = build_fig7 () in
+        check_float "elmore" 363. (Rctree.elmore_delay t ~output:e));
+  ]
+
+let () =
+  Alcotest.run "rctree"
+    [
+      ("units", units_tests);
+      ("element", element_tests);
+      ("times", times_tests);
+      ("twoport", twoport_tests);
+      ("expr", expr_tests);
+      ("tree", tree_tests);
+      ("path", path_tests);
+      ("moments", moments_tests);
+      ("convert", convert_tests);
+      ("lump", lump_tests);
+      ("validate", validate_tests);
+      ("api", api_tests);
+    ]

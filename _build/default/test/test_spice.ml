@@ -1,0 +1,256 @@
+(* Tests of the SPICE substrate: deck model, parser, elaboration into
+   RC trees, and printing round-trips. *)
+
+let check_close ?(eps = 1e-9) msg a b = Alcotest.(check (float eps)) msg a b
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let parse_ok s =
+  match Spice.Parser.parse_string s with
+  | Ok deck -> deck
+  | Error e -> Alcotest.failf "unexpected parse error: %s" (Spice.Parser.error_to_string e)
+
+let parse_err s =
+  match Spice.Parser.parse_string s with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let elab_ok deck =
+  match Spice.Elaborate.to_tree deck with
+  | Ok tree -> tree
+  | Error e -> Alcotest.failf "unexpected elab error: %s" (Spice.Elaborate.error_to_string e)
+
+let elab_err deck =
+  match Spice.Elaborate.to_tree deck with
+  | Ok _ -> Alcotest.fail "expected an elaboration error"
+  | Error e -> e
+
+let fig7_text =
+  "VIN in 0\n\
+   R1 in a 15\n\
+   C1 a 0 2\n\
+   R2 a b 8\n\
+   C2 b 0 7\n\
+   U1 a e 3 4\n\
+   C3 e 0 9\n\
+   .output e\n\
+   .end\n"
+
+let parser_tests =
+  [
+    Alcotest.test_case "cards of each kind" `Quick (fun () ->
+        let deck = parse_ok "V1 in 0\nR1 in a 10\nC1 a 0 1p\nU1 a b 100 2p\n.end" in
+        check_int "cards" 4 (List.length deck.Spice.Deck.cards));
+    Alcotest.test_case "element names strip the type letter" `Quick (fun () ->
+        let deck = parse_ok "Vdrv in 0\nRload in a 1\nC7 a 0 1" in
+        match deck.Spice.Deck.cards with
+        | [ s; r; c ] ->
+            check_string "v" "drv" (Spice.Deck.card_name s);
+            check_string "r" "load" (Spice.Deck.card_name r);
+            check_string "c" "7" (Spice.Deck.card_name c)
+        | _ -> Alcotest.fail "wrong card count");
+    Alcotest.test_case "si suffixes in values" `Quick (fun () ->
+        let deck = parse_ok "V1 in 0\nR1 in a 1.5k\nC1 a 0 10p" in
+        match deck.Spice.Deck.cards with
+        | [ _; Spice.Deck.Resistor { value; _ }; Spice.Deck.Capacitor { value = c; _ } ] ->
+            check_close "r" 1500. value;
+            check_close ~eps:1e-18 "c" 1e-11 c
+        | _ -> Alcotest.fail "unexpected cards");
+    Alcotest.test_case "comments and blank lines skipped" `Quick (fun () ->
+        let deck = parse_ok "* a comment\n\nV1 in 0\n* another\nR1 in a 1\n" in
+        check_int "cards" 2 (List.length deck.Spice.Deck.cards));
+    Alcotest.test_case "trailing comments stripped" `Quick (fun () ->
+        let deck = parse_ok "V1 in 0\nR1 in a 1 ; the driver\n" in
+        check_int "cards" 2 (List.length deck.Spice.Deck.cards));
+    Alcotest.test_case "continuation lines join" `Quick (fun () ->
+        let deck = parse_ok "V1 in 0\nU1 a\n+ b 100\n+ 2\n" in
+        match deck.Spice.Deck.cards with
+        | [ _; Spice.Deck.Line { resistance; capacitance; _ } ] ->
+            check_close "r" 100. resistance;
+            check_close "c" 2. capacitance
+        | _ -> Alcotest.fail "continuation not joined");
+    Alcotest.test_case "title directive" `Quick (fun () ->
+        let deck = parse_ok ".title my network\nV1 in 0\n" in
+        check_string "title" "my network" deck.Spice.Deck.title);
+    Alcotest.test_case "first non-card line is the title" `Quick (fun () ->
+        let deck = parse_ok "my favourite rc tree\nV1 in 0\n" in
+        check_string "title" "my favourite rc tree" deck.Spice.Deck.title);
+    Alcotest.test_case "outputs accumulate" `Quick (fun () ->
+        let deck = parse_ok "V1 in 0\n.output a b\n.output c\n" in
+        Alcotest.(check (list string)) "outputs" [ "a"; "b"; "c" ] deck.Spice.Deck.outputs);
+    Alcotest.test_case "content after .end rejected" `Quick (fun () ->
+        let e = parse_err "V1 in 0\n.end\nR1 in a 1\n" in
+        check_int "line" 3 e.Spice.Parser.line);
+    Alcotest.test_case "bad value reports the line" `Quick (fun () ->
+        let e = parse_err "V1 in 0\nR1 in a abc\n" in
+        check_int "line" 2 e.Spice.Parser.line);
+    Alcotest.test_case "wrong arity rejected" `Quick (fun () ->
+        ignore (parse_err "V1 in 0\nR1 in 10\n"));
+    Alcotest.test_case "unknown directive rejected" `Quick (fun () ->
+        ignore (parse_err "V1 in 0\n.nonsense\n"));
+    Alcotest.test_case "unknown card letter rejected" `Quick (fun () ->
+        ignore (parse_err "V1 in 0\nQ1 a b c\n"));
+    Alcotest.test_case "orphan continuation rejected" `Quick (fun () ->
+        ignore (parse_err "+ R1 in a 1\n"));
+    Alcotest.test_case "empty deck parses" `Quick (fun () ->
+        let deck = parse_ok "" in
+        check_int "cards" 0 (List.length deck.Spice.Deck.cards));
+  ]
+
+let elaborate_tests =
+  [
+    Alcotest.test_case "fig7 deck gives the paper times" `Quick (fun () ->
+        let tree = elab_ok (parse_ok fig7_text) in
+        let out = Rctree.Tree.output_named tree "e" in
+        let ts = Rctree.Moments.times tree ~output:out in
+        check_close "tp" 419. ts.Rctree.Times.t_p;
+        check_close "td" 363. ts.Rctree.Times.t_d;
+        check_close "tr" (6033. /. 18.) ts.Rctree.Times.t_r);
+    Alcotest.test_case "edges may be written in either direction" `Quick (fun () ->
+        let tree = elab_ok (parse_ok "V1 in 0\nR1 a in 10\nC1 a 0 1\n.output a\n") in
+        let out = Rctree.Tree.output_named tree "a" in
+        check_close "td" 10. (Rctree.Moments.elmore tree ~output:out));
+    Alcotest.test_case "gnd alias accepted" `Quick (fun () ->
+        let tree = elab_ok (parse_ok "V1 in GND\nR1 in a 10\nC1 a gnd 1\n.output a\n") in
+        check_int "nodes" 2 (Rctree.Tree.node_count tree));
+    Alcotest.test_case "default outputs are the leaves" `Quick (fun () ->
+        let tree = elab_ok (parse_ok "V1 in 0\nR1 in a 1\nC1 a 0 1\nR2 a b 1\nC2 b 0 1\n") in
+        (* only b is a leaf *)
+        match Rctree.Tree.outputs tree with
+        | [ (label, _) ] -> check_string "leaf" "b" label
+        | other -> Alcotest.failf "expected 1 output, got %d" (List.length other));
+    Alcotest.test_case "parallel capacitors add" `Quick (fun () ->
+        let tree = elab_ok (parse_ok "V1 in 0\nR1 in a 1\nC1 a 0 1\nC2 a 0 2\n.output a\n") in
+        let a = Option.get (Rctree.Tree.find_node tree "a") in
+        check_close "c" 3. (Rctree.Tree.capacitance tree a));
+    Alcotest.test_case "no source detected" `Quick (fun () ->
+        check_bool "err" true (elab_err (parse_ok "R1 in a 1\nC1 a 0 1\n") = Spice.Elaborate.No_source));
+    Alcotest.test_case "multiple sources detected" `Quick (fun () ->
+        match elab_err (parse_ok "V1 in 0\nV2 other 0\nR1 in a 1\nC1 a 0 1\n") with
+        | Spice.Elaborate.Multiple_sources names -> check_int "two" 2 (List.length names)
+        | _ -> Alcotest.fail "wrong error");
+    Alcotest.test_case "floating source detected" `Quick (fun () ->
+        check_bool "err" true
+          (elab_err (parse_ok "V1 in out\nR1 in a 1\nC1 a 0 1\n")
+          = Spice.Elaborate.Source_not_grounded "1"));
+    Alcotest.test_case "grounded resistor detected" `Quick (fun () ->
+        check_bool "err" true
+          (elab_err (parse_ok "V1 in 0\nR1 in 0 10\n") = Spice.Elaborate.Element_to_ground "1"));
+    Alcotest.test_case "floating capacitor detected" `Quick (fun () ->
+        check_bool "err" true
+          (elab_err (parse_ok "V1 in 0\nR1 in a 1\nC1 a b 1\n")
+          = Spice.Elaborate.Capacitor_not_grounded "1"));
+    Alcotest.test_case "cycle detected" `Quick (fun () ->
+        match elab_err (parse_ok "V1 in 0\nR1 in a 1\nR2 a b 1\nR3 b in 1\nC1 b 0 1\n") with
+        | Spice.Elaborate.Cycle _ -> ()
+        | e -> Alcotest.failf "wrong error: %s" (Spice.Elaborate.error_to_string e));
+    Alcotest.test_case "disconnected island detected" `Quick (fun () ->
+        match elab_err (parse_ok "V1 in 0\nR1 in a 1\nC1 a 0 1\nR9 x y 1\nC9 y 0 1\n") with
+        | Spice.Elaborate.Disconnected nodes ->
+            Alcotest.(check (list string)) "nodes" [ "x"; "y" ] nodes
+        | e -> Alcotest.failf "wrong error: %s" (Spice.Elaborate.error_to_string e));
+    Alcotest.test_case "unknown output detected" `Quick (fun () ->
+        check_bool "err" true
+          (elab_err (parse_ok "V1 in 0\nR1 in a 1\nC1 a 0 1\n.output zz\n")
+          = Spice.Elaborate.Unknown_output "zz"));
+    Alcotest.test_case "to_tree_exn raises with message" `Quick (fun () ->
+        match Spice.Elaborate.to_tree_exn (parse_ok "R1 in a 1\n") with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument msg -> check_bool "has message" true (String.length msg > 0));
+  ]
+
+let include_tests =
+  let write path content =
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+  in
+  [
+    Alcotest.test_case "include splices cards and outputs" `Quick (fun () ->
+        let dir = Filename.temp_file "spice" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        write (Filename.concat dir "branch.sp") "R2 a b 8\nC2 b 0 7\n.output b\n";
+        write (Filename.concat dir "main.sp")
+          "VIN in 0\nR1 in a 15\nC1 a 0 2\n.include branch.sp\nU1 a e 3 4\nC3 e 0 9\n.output e\n";
+        (match Spice.Parser.parse_file (Filename.concat dir "main.sp") with
+        | Error e -> Alcotest.failf "parse: %s" (Spice.Parser.error_to_string e)
+        | Ok deck ->
+            check_int "cards" 7 (List.length deck.Spice.Deck.cards);
+            Alcotest.(check (list string)) "outputs" [ "b"; "e" ] deck.Spice.Deck.outputs;
+            let tree = elab_ok deck in
+            let out = Rctree.Tree.output_named tree "e" in
+            check_close "td" 363. (Rctree.Moments.elmore tree ~output:out));
+        Sys.remove (Filename.concat dir "branch.sp");
+        Sys.remove (Filename.concat dir "main.sp");
+        Unix.rmdir dir);
+    Alcotest.test_case "missing include reported with the path" `Quick (fun () ->
+        let path = Filename.temp_file "spice" ".sp" in
+        write path "VIN in 0\n.include nonexistent.sp\n";
+        (match Spice.Parser.parse_file path with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error e ->
+            check_int "line" 2 e.Spice.Parser.line;
+            check_bool "names file" true
+              (let msg = e.Spice.Parser.message in
+               let rec has i =
+                 i + 11 <= String.length msg && (String.sub msg i 11 = "nonexistent" || has (i + 1))
+               in
+               has 0));
+        Sys.remove path);
+    Alcotest.test_case "include depth capped" `Quick (fun () ->
+        let path = Filename.temp_file "spice" ".sp" in
+        write path (Printf.sprintf ".include %s\n" (Filename.basename path));
+        (match Spice.Parser.parse_file ~max_include_depth:4 path with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error _ -> ());
+        Sys.remove path);
+    Alcotest.test_case "include rejected without a base directory" `Quick (fun () ->
+        match Spice.Parser.parse_string "VIN in 0\n.include x.sp\n" with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error e -> check_int "line" 2 e.Spice.Parser.line);
+  ]
+
+let printer_tests =
+  [
+    Alcotest.test_case "round-trip preserves moments" `Quick (fun () ->
+        let tree = elab_ok (parse_ok fig7_text) in
+        let text = Spice.Printer.to_string tree in
+        let tree2 = elab_ok (parse_ok text) in
+        let out = Rctree.Tree.output_named tree2 "e" in
+        let ts = Rctree.Moments.times tree2 ~output:out in
+        check_close "tp" 419. ts.Rctree.Times.t_p;
+        check_close "td" 363. ts.Rctree.Times.t_d);
+    Alcotest.test_case "deck_of_tree emits all elements" `Quick (fun () ->
+        let tree = elab_ok (parse_ok fig7_text) in
+        let deck = Spice.Printer.deck_of_tree tree in
+        (* 1 source + 2 R + 1 U + 3 C *)
+        check_int "cards" 7 (List.length deck.Spice.Deck.cards));
+    Alcotest.test_case "outputs preserved" `Quick (fun () ->
+        let tree = elab_ok (parse_ok fig7_text) in
+        let deck = Spice.Printer.deck_of_tree tree in
+        Alcotest.(check (list string)) "outputs" [ "e" ] deck.Spice.Deck.outputs);
+    Alcotest.test_case "deck pp parses back to equal cards" `Quick (fun () ->
+        let deck = Spice.Printer.deck_of_tree (elab_ok (parse_ok fig7_text)) in
+        let text = Format.asprintf "%a@." Spice.Deck.pp deck in
+        let deck2 = parse_ok text in
+        check_bool "equal" true (Spice.Deck.equal deck deck2));
+    Alcotest.test_case "write_file and parse_file" `Quick (fun () ->
+        let tree = elab_ok (parse_ok fig7_text) in
+        let path = Filename.temp_file "rctree" ".sp" in
+        Spice.Printer.write_file path tree;
+        (match Spice.Parser.parse_file path with
+        | Ok deck -> check_bool "elaborates" true (Result.is_ok (Spice.Elaborate.to_tree deck))
+        | Error e -> Alcotest.failf "parse_file: %s" (Spice.Parser.error_to_string e));
+        Sys.remove path);
+  ]
+
+let () =
+  Alcotest.run "spice"
+    [
+      ("parser", parser_tests);
+      ("elaborate", elaborate_tests);
+      ("include", include_tests);
+      ("printer", printer_tests);
+    ]

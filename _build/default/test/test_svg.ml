@@ -1,0 +1,116 @@
+(* Tests of the SVG chart renderer used to regenerate the paper's
+   figures. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let count_occurrences hay needle =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length hay then acc
+    else if String.sub hay i nl = needle then go (i + nl) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let contains hay needle = count_occurrences hay needle > 0
+
+let simple () =
+  Reprolib.Svg_plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+    [ Reprolib.Svg_plot.series ~label:"a" [ (0., 0.); (1., 1.); (2., 4.) ] ]
+
+let tests =
+  [
+    Alcotest.test_case "well-formed document" `Quick (fun () ->
+        let svg = simple () in
+        check_bool "opens" true (contains svg "<svg ");
+        check_bool "closes" true (contains svg "</svg>");
+        check_int "balanced text tags" (count_occurrences svg "<text")
+          (count_occurrences svg "</text>"));
+    Alcotest.test_case "one polyline per series plus legend strokes" `Quick (fun () ->
+        let svg =
+          Reprolib.Svg_plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+            [
+              Reprolib.Svg_plot.series ~label:"a" [ (0., 0.); (1., 1.) ];
+              Reprolib.Svg_plot.series ~label:"b" [ (0., 1.); (1., 0.) ];
+            ]
+        in
+        check_int "polylines" 2 (count_occurrences svg "<polyline");
+        check_bool "legend a" true (contains svg ">a</text>");
+        check_bool "legend b" true (contains svg ">b</text>"));
+    Alcotest.test_case "titles and labels appear" `Quick (fun () ->
+        let svg = simple () in
+        check_bool "title" true (contains svg ">t</text>");
+        check_bool "x" true (contains svg ">x</text>");
+        check_bool "y" true (contains svg ">y</text>"));
+    Alcotest.test_case "dashed series get a dasharray" `Quick (fun () ->
+        let svg =
+          Reprolib.Svg_plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+            [ Reprolib.Svg_plot.series ~dashed:true ~label:"a" [ (0., 0.); (1., 1.) ] ]
+        in
+        check_bool "dash" true (contains svg "stroke-dasharray"));
+    Alcotest.test_case "coordinates stay inside the canvas" `Quick (fun () ->
+        let svg = simple () in
+        (* crude: every polyline coordinate pair must be within 0..640/0..420 *)
+        let ok = ref true in
+        String.split_on_char '\n' svg
+        |> List.iter (fun line ->
+               if contains line "<polyline" then begin
+                 let points_part =
+                   let start = String.index line '"' + 1 in
+                   String.sub line start (String.index_from line start '"' - start)
+                 in
+                 String.split_on_char ' ' points_part
+                 |> List.iter (fun pair ->
+                        match String.split_on_char ',' pair with
+                        | [ x; y ] ->
+                            let x = float_of_string x and y = float_of_string y in
+                            if x < 0. || x > 640. || y < 0. || y > 420. then ok := false
+                        | _ -> ok := false)
+               end);
+        check_bool "bounded" true !ok);
+    Alcotest.test_case "log axes order points monotonically" `Quick (fun () ->
+        let svg =
+          Reprolib.Svg_plot.render ~log_x:true ~log_y:true ~title:"t" ~x_label:"x" ~y_label:"y"
+            [ Reprolib.Svg_plot.series ~label:"a" [ (1., 1.); (10., 10.); (100., 100.) ] ]
+        in
+        check_bool "rendered" true (contains svg "<polyline"));
+    Alcotest.test_case "log axis tick values are decades" `Quick (fun () ->
+        let svg =
+          Reprolib.Svg_plot.render ~log_x:true ~title:"t" ~x_label:"x" ~y_label:"y"
+            [ Reprolib.Svg_plot.series ~label:"a" [ (1., 0.); (1000., 1.) ] ]
+        in
+        check_bool "10" true (contains svg ">10</text>");
+        check_bool "100" true (contains svg ">100</text>"));
+    Alcotest.test_case "degenerate range still renders" `Quick (fun () ->
+        let svg =
+          Reprolib.Svg_plot.render ~title:"t" ~x_label:"x" ~y_label:"y"
+            [ Reprolib.Svg_plot.series ~label:"a" [ (1., 5.); (2., 5.) ] ]
+        in
+        check_bool "rendered" true (contains svg "<polyline"));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        check_invalid "no series" (fun () ->
+            Reprolib.Svg_plot.render ~title:"t" ~x_label:"x" ~y_label:"y" []);
+        check_invalid "empty series" (fun () -> Reprolib.Svg_plot.series ~label:"a" []);
+        check_invalid "nan" (fun () -> Reprolib.Svg_plot.series ~label:"a" [ (Float.nan, 0.) ]);
+        check_invalid "log of zero" (fun () ->
+            Reprolib.Svg_plot.render ~log_y:true ~title:"t" ~x_label:"x" ~y_label:"y"
+              [ Reprolib.Svg_plot.series ~label:"a" [ (1., 0.) ] ]));
+    Alcotest.test_case "write_file round-trip" `Quick (fun () ->
+        let path = Filename.temp_file "plot" ".svg" in
+        Reprolib.Svg_plot.write_file ~title:"t" ~x_label:"x" ~y_label:"y" path
+          [ Reprolib.Svg_plot.series ~label:"a" [ (0., 0.); (1., 1.) ] ];
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let content = really_input_string ic n in
+        close_in ic;
+        Sys.remove path;
+        check_bool "content" true (contains content "</svg>"));
+  ]
+
+let () = Alcotest.run "svg" [ ("plot", tests) ]
