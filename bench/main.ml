@@ -151,16 +151,23 @@ let run_benchmarks () =
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
-let print_benchmarks results =
-  let table = Reprolib.Table.create ~columns:[ "benchmark"; "ns/run"; "r^2" ] in
+(* (name, ns-per-run estimate, r^2), sorted by name *)
+let benchmark_rows results =
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
-  List.iter
+  List.map
     (fun (name, ols) ->
       let estimate =
         match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
       in
       let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+      (name, estimate, r2))
+    rows
+
+let print_benchmarks rows =
+  let table = Reprolib.Table.create ~columns:[ "benchmark"; "ns/run"; "r^2" ] in
+  List.iter
+    (fun (name, estimate, r2) ->
       Reprolib.Table.add_row table
         [ name; Printf.sprintf "%.1f" estimate; Printf.sprintf "%.4f" r2 ])
     rows;
@@ -339,10 +346,50 @@ let scalability_table () =
   Reprolib.Table.print t;
   print_newline ()
 
+(* machine-readable record for diffing future PRs: per-experiment
+   ns/op from the Bechamel phase plus the Obs counters and span
+   timings accumulated over the reproduction tables *)
+let write_bench_json bench_rows =
+  let path = Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH_PR1.json" in
+  let open Obs.Json in
+  let benchmarks =
+    Object
+      (List.map
+         (fun (name, estimate, r2) ->
+           (name, Object [ ("ns_per_run", Number estimate); ("r_square", Number r2) ]))
+         bench_rows)
+  in
+  let counters =
+    Object (List.map (fun (n, v) -> (n, Number (float_of_int v))) (Obs.counters ()))
+  in
+  let spans =
+    Object
+      (List.map
+         (fun (n, calls, total) ->
+           (n, Object [ ("calls", Number (float_of_int calls)); ("total_s", Number total) ]))
+         (Obs.span_totals ()))
+  in
+  let doc =
+    Object [ ("benchmarks", benchmarks); ("counters", counters); ("spans", spans) ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let () =
-  (match Sys.getenv_opt "BENCH_SKIP_MICRO" with
-  | Some _ -> ()
-  | None -> print_benchmarks (run_benchmarks ()));
+  (* micro-benchmarks run with metrics disabled so the measured ns/op
+     reflect the production (disabled-flag) cost of the hot paths *)
+  let bench_rows =
+    match Sys.getenv_opt "BENCH_SKIP_MICRO" with
+    | Some _ -> []
+    | None ->
+        let rows = benchmark_rows (run_benchmarks ()) in
+        print_benchmarks rows;
+        rows
+  in
+  Obs.set_enabled true;
   fig10_delay_table ();
   fig10_voltage_table ();
   fig11_series ();
@@ -350,4 +397,5 @@ let () =
   fig5_series ();
   e8_scaling_table ();
   lump_convergence_table ();
-  scalability_table ()
+  scalability_table ();
+  write_bench_json bench_rows

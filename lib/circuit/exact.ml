@@ -11,7 +11,7 @@ let of_system (sys : Mna.system) =
     Numeric.Matrix.init n n (fun i j ->
         Numeric.Matrix.get sys.g i j *. inv_sqrt_c.(i) *. inv_sqrt_c.(j))
   in
-  let { Numeric.Eigen.eigenvalues; eigenvectors } = Numeric.Eigen.symmetric a in
+  let { Numeric.Eigen.eigenvalues; eigenvectors; _ } = Numeric.Eigen.symmetric a in
   (* v(t) = 1 - C^{-1/2} V exp(-Λ t) V^T C^{1/2} 1 ;
      k_{ij} = inv_sqrt_c_i * V_{ij} * (Σ_m V_{mj} sqrt(c_m)) *)
   let weights =

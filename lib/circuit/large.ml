@@ -1,3 +1,8 @@
+let m_solves = Obs.Counter.make "large.step_responses"
+let m_timesteps = Obs.Counter.make "large.timesteps"
+let m_cg_iterations = Obs.Counter.make "large.cg_iterations"
+let m_iters_per_step = Obs.Histogram.make "large.cg_iterations_per_step"
+
 type operator = {
   conductance : float array; (* per node: 1/R of the edge above it; 0 for the input *)
   parent_row : int array; (* row of the parent; -1 when the parent is the input *)
@@ -82,6 +87,8 @@ let apply op x =
 
 let step_response ?cap_floor ?(tol = 1e-10) tree ~dt ~t_end ~outputs =
   if t_end < 0. then invalid_arg "Large.step_response: negative t_end";
+  Obs.Span.with_ ~name:"circuit.large" @@ fun () ->
+  Obs.Counter.incr m_solves;
   let op = operator ?cap_floor tree ~dt in
   List.iter
     (fun node ->
@@ -111,9 +118,12 @@ let step_response ?cap_floor ?(tol = 1e-10) tree ~dt ~t_end ~outputs =
     (* rhs = C/dt x_prev + b, with b the source injection (u = 1) *)
     let rhs = Array.mapi (fun row xi -> op.c_over_dt.(row) *. xi) !x in
     List.iter (fun row -> rhs.(row) <- rhs.(row) +. op.conductance.(row)) op.source_rows;
-    let solution, (_ : Numeric.Cg.stats) =
+    let solution, (stats : Numeric.Cg.stats) =
       Numeric.Cg.solve ~tol ~diag_precondition:diag ~mul:(apply op) rhs
     in
+    Obs.Counter.incr m_timesteps;
+    Obs.Counter.add m_cg_iterations stats.Numeric.Cg.iterations;
+    Obs.Histogram.observe m_iters_per_step (float_of_int stats.Numeric.Cg.iterations);
     x := solution;
     record k
   done;

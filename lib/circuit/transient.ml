@@ -1,5 +1,9 @@
 type integration = Backward_euler | Trapezoidal
 
+let m_simulations = Obs.Counter.make "transient.simulations"
+let m_steps = Obs.Counter.make "transient.steps"
+let m_nodes = Obs.Histogram.make "transient.nodes_per_sim"
+
 type result = {
   times : float array;
   node_values : float array array; (* indexed by tree node id, then sample *)
@@ -14,6 +18,7 @@ let ramp_input ~rise_time t =
 let simulate ?(integration = Trapezoidal) ?cap_floor tree ~dt ~t_end ~input =
   if dt <= 0. then invalid_arg "Transient.simulate: dt must be positive";
   if t_end < 0. then invalid_arg "Transient.simulate: t_end must be non-negative";
+  Obs.Span.with_ ~name:"circuit.transient" @@ fun () ->
   let sys = Mna.of_tree ?cap_floor tree in
   let c = Mna.c_matrix sys in
   let stepper =
@@ -26,6 +31,9 @@ let simulate ?(integration = Trapezoidal) ?cap_floor tree ~dt ~t_end ~input =
     Numeric.Ode.simulate stepper ~x0:(Numeric.Vector.create rows) ~u:input ~t_end
   in
   let samples = List.length trajectory in
+  Obs.Counter.incr m_simulations;
+  Obs.Counter.add m_steps (samples - 1);
+  Obs.Histogram.observe m_nodes (float_of_int rows);
   let times = Array.make samples 0. in
   let n = Array.length sys.row_of_node in
   let node_values = Array.init n (fun _ -> Array.make samples 0.) in

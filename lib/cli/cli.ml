@@ -11,7 +11,13 @@
      ramp      crossing bounds under a ramp input (superposition)
      moments   higher moments + two-pole model
      ac        frequency response
-     sta       static timing analysis of a netlist file *)
+     sta       static timing analysis of a netlist file
+     stats     metrics self-test on built-in workloads
+
+   Every subcommand also accepts --metrics[=FILE] (report to stderr,
+   or JSON lines to FILE) and --trace (span trace to stderr); the
+   RCDELAY_METRICS environment variable enables the same collection
+   without flags. *)
 
 let load_tree path =
   match Spice.Parser.parse_file path with
@@ -254,7 +260,94 @@ let fig10_cmd () =
   Reprolib.Table.print volt;
   0
 
+(* exercise every instrumented layer on small built-in workloads, then
+   check the registry actually saw them — a smoke test for the
+   observability wiring itself *)
+let stats_cmd () =
+  Obs.set_enabled true;
+  Obs.Span.with_ ~name:"cli.stats.workload" (fun () ->
+      let expr = Rctree.Expr.fig7 in
+      ignore (Rctree.Expr.times expr);
+      let tree = Rctree.Convert.tree_of_expr expr in
+      let lumped = Rctree.Lump.discretize ~segments:8 tree in
+      (match
+         Spice.Parser.parse_string "VIN in 0\nR1 in a 15\nC1 a 0 2\n.output a\n.end\n"
+       with
+      | Ok deck -> ignore (Spice.Elaborate.to_tree deck)
+      | Error _ -> ());
+      ignore
+        (Circuit.Transient.simulate lumped ~dt:5. ~t_end:100.
+           ~input:Circuit.Transient.step_input);
+      ignore (Circuit.Exact.of_tree lumped);
+      let chain = Circuit.Large.rc_chain ~sections:64 ~r:10. ~c:1e-13 in
+      let out = Rctree.Tree.output_named chain "out" in
+      ignore (Circuit.Large.step_response chain ~dt:1e-10 ~t_end:2e-9 ~outputs:[ out ]);
+      let adder = Sta.Generate.ripple_carry_adder ~bits:4 () in
+      ignore (Sta.Report.timing_report (Sta.Analysis.run_exn adder)));
+  print_string (Obs.report ());
+  let counter name = Option.value (List.assoc_opt name (Obs.counters ())) ~default:0 in
+  let missing =
+    List.filter
+      (fun name -> counter name = 0)
+      [
+        "cg.iterations"; "eigen.decompositions"; "lu.factorizations"; "ode.steps";
+        "transient.simulations"; "large.timesteps"; "expr.evals"; "convert.tree_of_expr";
+        "spice.decks_parsed"; "spice.elaborations"; "sta.instances_visited";
+      ]
+  in
+  let no_span = Obs.Span.calls "circuit.transient" = 0 || Obs.Span.calls "sta.report" = 0 in
+  if missing = [] && not no_span then begin
+    print_endline "self-test: all instrumented layers reported";
+    0
+  end
+  else begin
+    List.iter (fun n -> prerr_endline ("self-test: no samples from " ^ n)) missing;
+    if no_span then prerr_endline "self-test: expected spans missing";
+    1
+  end
+
 open Cmdliner
+
+(* --metrics / --trace, shared by every subcommand *)
+type obs_cfg = { metrics : string option; trace : bool }
+
+let obs_term =
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect runtime metrics and print a report to stderr; with $(docv), dump JSON \
+             lines there instead.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Also record individual span timings and print the trace to stderr.")
+  in
+  Term.(const (fun metrics trace -> { metrics; trace }) $ metrics $ trace)
+
+let run_obs cfg name f =
+  if cfg.metrics <> None || cfg.trace then Obs.set_enabled true;
+  if cfg.trace then Obs.Span.set_trace true;
+  let code = Obs.Span.with_ ~name:("cli." ^ name) f in
+  let code =
+    match cfg.metrics with
+    | None | Some "" | Some "-" ->
+        if cfg.metrics <> None then prerr_string (Obs.report ());
+        code
+    | Some file -> (
+        try
+          Obs.write_json_lines file;
+          code
+        with Sys_error msg ->
+          Printf.eprintf "rcdelay: cannot write metrics: %s\n" msg;
+          max code 1)
+  in
+  if cfg.trace then prerr_string (Obs.trace_report ());
+  code
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK" ~doc:"SPICE-like deck file.")
@@ -299,32 +392,44 @@ let pla_threshold_arg =
 
 let cmd_times =
   Cmd.v (Cmd.info "times" ~doc:"Characteristic times of every output")
-    Term.(const times_cmd $ file_arg)
+    Term.(
+      const (fun obs path -> run_obs obs "times" (fun () -> times_cmd path))
+      $ obs_term $ file_arg)
 
 let cmd_bounds =
   Cmd.v (Cmd.info "bounds" ~doc:"Delay bounds at thresholds")
-    Term.(const bounds_cmd $ file_arg $ thresholds_arg)
+    Term.(
+      const (fun obs path vs -> run_obs obs "bounds" (fun () -> bounds_cmd path vs))
+      $ obs_term $ file_arg $ thresholds_arg)
 
 let cmd_voltage =
   Cmd.v (Cmd.info "voltage" ~doc:"Voltage bounds at sample times")
-    Term.(const voltage_cmd $ file_arg $ times_arg)
+    Term.(
+      const (fun obs path ts -> run_obs obs "voltage" (fun () -> voltage_cmd path ts))
+      $ obs_term $ file_arg $ times_arg)
 
 let cmd_certify =
   Cmd.v
     (Cmd.info "certify" ~doc:"Check every output against a threshold and deadline (exit 1 unless all pass)")
-    Term.(const certify_cmd $ file_arg $ threshold_arg $ deadline_arg)
+    Term.(
+      const (fun obs path v d -> run_obs obs "certify" (fun () -> certify_cmd path v d))
+      $ obs_term $ file_arg $ threshold_arg $ deadline_arg)
 
 let cmd_simulate =
   Cmd.v (Cmd.info "simulate" ~doc:"Exact step response as CSV")
-    Term.(const simulate_cmd $ file_arg $ t_end_arg $ samples_arg $ segments_arg)
+    Term.(
+      const (fun obs path t n s -> run_obs obs "simulate" (fun () -> simulate_cmd path t n s))
+      $ obs_term $ file_arg $ t_end_arg $ samples_arg $ segments_arg)
 
 let cmd_pla =
   Cmd.v (Cmd.info "pla" ~doc:"PLA AND-plane delay sweep (paper Section V)")
-    Term.(const pla_cmd $ minterms_arg $ pla_threshold_arg)
+    Term.(
+      const (fun obs ms v -> run_obs obs "pla" (fun () -> pla_cmd ms v))
+      $ obs_term $ minterms_arg $ pla_threshold_arg)
 
 let cmd_fig10 =
   Cmd.v (Cmd.info "fig10" ~doc:"Reproduce the paper's Fig. 10 session")
-    Term.(const fig10_cmd $ const ())
+    Term.(const (fun obs () -> run_obs obs "fig10" fig10_cmd) $ obs_term $ const ())
 
 let rise_arg =
   Arg.(required & opt (some float) None & info [ "rise" ] ~docv:"T" ~doc:"Input rise time (seconds).")
@@ -338,16 +443,22 @@ let points_arg =
 let cmd_ramp =
   Cmd.v
     (Cmd.info "ramp" ~doc:"Crossing-time bounds under a ramp input (superposition extension)")
-    Term.(const ramp_cmd $ file_arg $ rise_arg $ threshold_arg)
+    Term.(
+      const (fun obs path r v -> run_obs obs "ramp" (fun () -> ramp_cmd path r v))
+      $ obs_term $ file_arg $ rise_arg $ threshold_arg)
 
 let cmd_moments =
   Cmd.v
     (Cmd.info "moments" ~doc:"Higher transfer-function moments and the fitted two-pole model")
-    Term.(const moments_cmd $ file_arg $ order_arg $ segments_arg)
+    Term.(
+      const (fun obs path o s -> run_obs obs "moments" (fun () -> moments_cmd path o s))
+      $ obs_term $ file_arg $ order_arg $ segments_arg)
 
 let cmd_ac =
   Cmd.v (Cmd.info "ac" ~doc:"Frequency response: -3dB bandwidth and a Bode table")
-    Term.(const ac_cmd $ file_arg $ points_arg $ segments_arg)
+    Term.(
+      const (fun obs path p s -> run_obs obs "ac" (fun () -> ac_cmd path p s))
+      $ obs_term $ file_arg $ points_arg $ segments_arg)
 
 let period_arg =
   Arg.(
@@ -367,7 +478,9 @@ let hold_arg =
 let cmd_sta =
   Cmd.v
     (Cmd.info "sta" ~doc:"Static timing analysis of a gate-level netlist file")
-    Term.(const sta_cmd $ file_arg $ period_arg $ hold_arg $ elmore_flag)
+    Term.(
+      const (fun obs path p h e -> run_obs obs "sta" (fun () -> sta_cmd path p h e))
+      $ obs_term $ file_arg $ period_arg $ hold_arg $ elmore_flag)
 
 let adder_cmd bits period =
   if bits < 1 then begin
@@ -392,7 +505,15 @@ let bits_arg =
 let cmd_adder =
   Cmd.v
     (Cmd.info "adder" ~doc:"Generate and time a ripple-carry adder (STA demo at block scale)")
-    Term.(const adder_cmd $ bits_arg $ period_arg)
+    Term.(
+      const (fun obs b p -> run_obs obs "adder" (fun () -> adder_cmd b p))
+      $ obs_term $ bits_arg $ period_arg)
+
+let cmd_stats =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Metrics self-test: run built-in workloads and report every instrumented layer")
+    Term.(const (fun obs () -> run_obs obs "stats" stats_cmd) $ obs_term $ const ())
 
 let main =
   Cmd.group
@@ -400,7 +521,7 @@ let main =
        ~doc:"Penfield-Rubinstein signal delay bounds for RC tree networks")
     [
       cmd_times; cmd_bounds; cmd_voltage; cmd_certify; cmd_simulate; cmd_pla; cmd_fig10;
-      cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder;
+      cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder; cmd_stats;
     ]
 
 let run argv = Cmd.eval' ~argv main

@@ -2,6 +2,20 @@ type stats = { iterations : int; residual_norm : float }
 
 exception Not_converged of stats
 
+let m_solves = Obs.Counter.make "cg.solves"
+let m_iterations = Obs.Counter.make "cg.iterations"
+let m_preconditioned = Obs.Counter.make "cg.preconditioned"
+let m_not_converged = Obs.Counter.make "cg.not_converged"
+let m_iters_hist = Obs.Histogram.make "cg.iterations_per_solve"
+let m_residual = Obs.Gauge.make "cg.last_residual"
+
+let record_stats ~preconditioned stats =
+  Obs.Counter.incr m_solves;
+  Obs.Counter.add m_iterations stats.iterations;
+  Obs.Histogram.observe m_iters_hist (float_of_int stats.iterations);
+  Obs.Gauge.set m_residual stats.residual_norm;
+  if preconditioned then Obs.Counter.incr m_preconditioned
+
 let solve ?(tol = 1e-12) ?max_iter ?diag_precondition ~mul b =
   let n = Array.length b in
   let max_iter = match max_iter with Some m -> m | None -> Int.max 50 (10 * n) in
@@ -15,8 +29,13 @@ let solve ?(tol = 1e-12) ?max_iter ?diag_precondition ~mul b =
           d;
         fun r -> Array.mapi (fun i ri -> ri /. d.(i)) r
   in
+  let preconditioned = diag_precondition <> None in
   let b_norm = Vector.norm2 b in
-  if b_norm = 0. then (Array.make n 0., { iterations = 0; residual_norm = 0. })
+  if b_norm = 0. then begin
+    let stats = { iterations = 0; residual_norm = 0. } in
+    record_stats ~preconditioned stats;
+    (Array.make n 0., stats)
+  end
   else begin
     let x = Array.make n 0. in
     let r = Array.copy b in
@@ -41,7 +60,11 @@ let solve ?(tol = 1e-12) ?max_iter ?diag_precondition ~mul b =
       residual := Vector.norm2 r /. b_norm
     done;
     let stats = { iterations = !iterations; residual_norm = !residual } in
-    if !residual > tol then raise (Not_converged stats);
+    record_stats ~preconditioned stats;
+    if !residual > tol then begin
+      Obs.Counter.incr m_not_converged;
+      raise (Not_converged stats)
+    end;
     (x, stats)
   end
 

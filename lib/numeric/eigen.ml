@@ -1,4 +1,8 @@
-type decomposition = { eigenvalues : Vector.t; eigenvectors : Matrix.t }
+type decomposition = { eigenvalues : Vector.t; eigenvectors : Matrix.t; sweeps : int }
+
+let m_decompositions = Obs.Counter.make "eigen.decompositions"
+let m_sweeps = Obs.Histogram.make "eigen.sweeps_per_call"
+let m_off_norm = Obs.Gauge.make "eigen.last_off_diagonal"
 
 (* Cyclic Jacobi: repeatedly zero each off-diagonal entry with a Givens
    rotation.  Convergence is judged pairwise — |a_pq| negligible
@@ -77,7 +81,7 @@ let symmetric ?(max_sweeps = 64) ?(tol = 1e-14) m =
     end
   in
   let rec sweep k =
-    if converged () then ()
+    if converged () then k
     else if k >= max_sweeps then failwith "Eigen.symmetric: did not converge"
     else begin
       for p = 0 to n - 2 do
@@ -88,13 +92,24 @@ let symmetric ?(max_sweeps = 64) ?(tol = 1e-14) m =
       sweep (k + 1)
     end
   in
-  sweep 0;
+  let sweeps = sweep 0 in
+  Obs.Counter.incr m_decompositions;
+  Obs.Histogram.observe m_sweeps (float_of_int sweeps);
+  if Obs.enabled () then begin
+    let off = ref 0. in
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        off := !off +. (get p q *. get p q)
+      done
+    done;
+    Obs.Gauge.set m_off_norm (sqrt (2. *. !off))
+  end;
   (* sort ascending by eigenvalue, permuting eigenvector columns *)
   let order = Array.init n (fun i -> i) in
   Array.sort (fun i j -> Float.compare a.(i).(i) a.(j).(j)) order;
   let eigenvalues = Array.map (fun i -> a.(i).(i)) order in
   let eigenvectors = Matrix.init n n (fun i j -> v.(i).(order.(j))) in
-  { eigenvalues; eigenvectors }
+  { eigenvalues; eigenvectors; sweeps }
 
 let reconstruct d =
   let n = Vector.dim d.eigenvalues in

@@ -9,6 +9,7 @@
 type decomposition = {
   eigenvalues : Vector.t;  (** ascending order *)
   eigenvectors : Matrix.t;  (** column [j] is the eigenvector for eigenvalue [j] *)
+  sweeps : int;  (** Jacobi sweeps it took to converge *)
 }
 
 val symmetric : ?max_sweeps:int -> ?tol:float -> Matrix.t -> decomposition

@@ -7,9 +7,15 @@ type factor = {
 
 exception Singular of int
 
+let m_factorizations = Obs.Counter.make "lu.factorizations"
+let m_solves = Obs.Counter.make "lu.solves"
+let m_dim = Obs.Histogram.make "lu.dimension"
+
 let decompose a =
   let n = Matrix.rows a in
   if Matrix.cols a <> n then invalid_arg "Lu.decompose: matrix not square";
+  Obs.Counter.incr m_factorizations;
+  Obs.Histogram.observe m_dim (float_of_int n);
   let lu = Matrix.to_arrays a in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1. in
@@ -43,6 +49,7 @@ let decompose a =
 
 let solve_factored f b =
   if Array.length b <> f.n then invalid_arg "Lu.solve_factored: dimension mismatch";
+  Obs.Counter.incr m_solves;
   let x = Array.init f.n (fun i -> b.(f.perm.(i))) in
   (* forward substitution with unit-diagonal L *)
   for i = 1 to f.n - 1 do

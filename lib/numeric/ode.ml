@@ -1,5 +1,8 @@
 type scheme = Backward_euler | Trapezoidal
 
+let m_steppers = Obs.Counter.make "ode.steppers"
+let m_steps = Obs.Counter.make "ode.steps"
+
 type stepper = {
   scheme : scheme;
   lhs : Lu.factor; (* factored iteration matrix *)
@@ -17,17 +20,20 @@ let check_shapes name c g b dt =
 
 let backward_euler ~c ~g ~b ~dt =
   check_shapes "backward_euler" c g b dt;
+  Obs.Counter.incr m_steppers;
   let c_over_dt = Matrix.scale (1. /. dt) c in
   let lhs = Lu.decompose (Matrix.add c_over_dt g) in
   { scheme = Backward_euler; lhs; c_over_dt; g; b; dt }
 
 let trapezoidal ~c ~g ~b ~dt =
   check_shapes "trapezoidal" c g b dt;
+  Obs.Counter.incr m_steppers;
   let c_over_dt = Matrix.scale (2. /. dt) c in
   let lhs = Lu.decompose (Matrix.add c_over_dt g) in
   { scheme = Trapezoidal; lhs; c_over_dt; g; b; dt }
 
 let step s ~x ~u_now ~u_next =
+  Obs.Counter.incr m_steps;
   let rhs =
     match s.scheme with
     | Backward_euler ->

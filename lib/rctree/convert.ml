@@ -1,4 +1,9 @@
+let m_to_tree = Obs.Counter.make "convert.tree_of_expr"
+let m_to_expr = Obs.Counter.make "convert.expr_of_tree"
+let m_tree_nodes = Obs.Histogram.make "convert.tree_nodes"
+
 let tree_of_expr ?(name = "expr") e =
+  Obs.Counter.incr m_to_tree;
   let b = Tree.Builder.create ~name () in
   (* returns the node at the fragment's port 2 *)
   let rec attach at = function
@@ -11,7 +16,9 @@ let tree_of_expr ?(name = "expr") e =
   in
   let out = attach (Tree.Builder.input b) e in
   Tree.Builder.mark_output b ~label:"out" out;
-  Tree.Builder.finish b
+  let t = Tree.Builder.finish b in
+  Obs.Histogram.observe m_tree_nodes (float_of_int (Tree.node_count t));
+  t
 
 (* The expression for one node consists of, in cascade order: the series
    element of its parent edge, its lumped capacitance, a WB branch per
@@ -19,6 +26,7 @@ let tree_of_expr ?(name = "expr") e =
    port 2 of the whole expression lands on the chosen output. *)
 let expr_of_tree t ~output =
   if output < 0 || output >= Tree.node_count t then invalid_arg "Convert.expr_of_tree: unknown node";
+  Obs.Counter.incr m_to_expr;
   let on_path = Path.on_path_to t output in
   let cap_leaf id rest =
     if Tree.capacitance t id > 0. then Expr.capacitor (Tree.capacitance t id) :: rest else rest

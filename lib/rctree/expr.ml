@@ -17,17 +17,37 @@ let cascade_all = function
   | [] -> invalid_arg "Expr.cascade_all: empty list"
   | e :: rest -> List.fold_left wc e rest
 
-let rec eval = function
-  | Urc { resistance; capacitance } -> Twoport.urc ~resistance ~capacitance
-  | Branch e -> Twoport.branch (eval e)
-  | Cascade (a, b) -> Twoport.cascade (eval a) (eval b)
+let m_evals = Obs.Counter.make "expr.evals"
+let m_ops = Obs.Counter.make "expr.algebra_ops"
+let m_size = Obs.Histogram.make "expr.size"
 
-let times e = Twoport.times (eval e)
+let rec eval_node = function
+  | Urc { resistance; capacitance } -> Twoport.urc ~resistance ~capacitance
+  | Branch e -> Twoport.branch (eval_node e)
+  | Cascade (a, b) -> Twoport.cascade (eval_node a) (eval_node b)
 
 let rec size = function
   | Urc _ -> 1
   | Branch e -> size e
   | Cascade (a, b) -> size a + size b
+
+(* every leaf is one URC op and every interior node one WB/WC op, so
+   the op count of an eval is [2 * size - 1] plus the branch nodes;
+   counting constructors directly keeps the accounting honest *)
+let rec op_count = function
+  | Urc _ -> 1
+  | Branch e -> 1 + op_count e
+  | Cascade (a, b) -> 1 + op_count a + op_count b
+
+let eval e =
+  if Obs.enabled () then begin
+    Obs.Counter.incr m_evals;
+    Obs.Counter.add m_ops (op_count e);
+    Obs.Histogram.observe m_size (float_of_int (size e))
+  end;
+  eval_node e
+
+let times e = Twoport.times (eval e)
 
 let element_of_leaf ~resistance ~capacitance = Element.line ~resistance ~capacitance
 

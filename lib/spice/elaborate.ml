@@ -126,10 +126,19 @@ let to_tree_internal deck =
         outs);
   Rctree.Tree.Builder.finish b
 
+let m_elaborations = Obs.Counter.make "spice.elaborations"
+let m_tree_nodes = Obs.Histogram.make "spice.elaborated_tree_nodes"
+
 let to_tree deck =
-  match to_tree_internal deck with tree -> Ok tree | exception Elab_error e -> Error e
+  Obs.Span.with_ ~name:"spice.elaborate" @@ fun () ->
+  match to_tree_internal deck with
+  | tree ->
+      Obs.Counter.incr m_elaborations;
+      Obs.Histogram.observe m_tree_nodes (float_of_int (Rctree.Tree.node_count tree));
+      Ok tree
+  | exception Elab_error e -> Error e
 
 let to_tree_exn deck =
-  match to_tree_internal deck with
-  | tree -> tree
-  | exception Elab_error e -> invalid_arg ("Elaborate.to_tree_exn: " ^ error_to_string e)
+  match to_tree deck with
+  | Ok tree -> tree
+  | Error e -> invalid_arg ("Elaborate.to_tree_exn: " ^ error_to_string e)

@@ -124,8 +124,22 @@ let parse_lines_exn ?resolve lines =
     body;
   Deck.make ~title:!title ~outputs:!outputs (List.rev !cards)
 
+let m_decks = Obs.Counter.make "spice.decks_parsed"
+let m_errors = Obs.Counter.make "spice.parse_errors"
+let m_cards = Obs.Histogram.make "spice.cards_per_deck"
+
+let record_parse = function
+  | Ok deck ->
+      Obs.Counter.incr m_decks;
+      Obs.Histogram.observe m_cards (float_of_int (List.length deck.Deck.cards));
+      Ok deck
+  | Error e ->
+      Obs.Counter.incr m_errors;
+      Error e
+
 let parse_lines lines =
-  match parse_lines_exn lines with deck -> Ok deck | exception Parse_error e -> Error e
+  record_parse
+    (match parse_lines_exn lines with deck -> Ok deck | exception Parse_error e -> Error e)
 
 let parse_string s = parse_lines (String.split_on_char '\n' s)
 
@@ -141,6 +155,7 @@ let read_lines path =
   lines
 
 let parse_file ?(max_include_depth = 16) path =
+  Obs.Span.with_ ~name:"spice.parse" @@ fun () ->
   let rec go depth path =
     if depth < 0 then Error { line = 0; message = "includes nested too deeply" }
     else begin
@@ -150,9 +165,10 @@ let parse_file ?(max_include_depth = 16) path =
         if Sys.file_exists sub_path then go (depth - 1) sub_path
         else Error { line = 0; message = "file not found" }
       in
-      match parse_lines_exn ~resolve (read_lines path) with
-      | deck -> Ok deck
-      | exception Parse_error e -> Error e
+      record_parse
+        (match parse_lines_exn ~resolve (read_lines path) with
+        | deck -> Ok deck
+        | exception Parse_error e -> Error e)
     end
   in
   go max_include_depth path

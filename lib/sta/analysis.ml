@@ -1,5 +1,10 @@
 type window = { early : float; late : float }
 
+let m_runs = Obs.Counter.make "sta.runs"
+let m_instances = Obs.Counter.make "sta.instances_visited"
+let m_nets = Obs.Counter.make "sta.nets_propagated"
+let m_endpoints = Obs.Counter.make "sta.endpoints"
+
 type mode = Elmore_mode | Bounds_mode
 
 type step =
@@ -45,7 +50,10 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
           invalid_arg (Printf.sprintf "Analysis.run: unknown net %S" name));
       if at < 0. then invalid_arg "Analysis.run: negative input arrival")
     input_arrivals;
-  match Graph.topological_order (Graph.of_design d) with
+  Obs.Counter.incr m_runs;
+  match
+    Obs.Span.with_ ~name:"sta.order" (fun () -> Graph.topological_order (Graph.of_design d))
+  with
   | Error cycle -> Error cycle
   | Ok order ->
       let r =
@@ -83,6 +91,7 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
         match Hashtbl.find_opt r.launches net.Design.net_name with
         | None -> ()
         | Some launch ->
+            Obs.Counter.incr m_nets;
             List.iter
               (fun pin ->
                 let w = net_window r d net pin in
@@ -92,8 +101,10 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
       in
       List.iter propagate_net (Design.nets d);
       (* instances in topological order *)
+      Obs.Span.with_ ~name:"sta.propagate" (fun () ->
       List.iter
         (fun name ->
+          Obs.Counter.incr m_instances;
           let cell = Design.cell_of d name in
           let input_windows =
             List.map
@@ -125,10 +136,12 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
               Hashtbl.replace r.launches net.Design.net_name out;
               propagate_net net
           | None -> ()))
-        order;
+        order);
       (* endpoints *)
+      Obs.Span.with_ ~name:"sta.endpoints" (fun () ->
       List.iter
         (fun po ->
+          Obs.Counter.incr m_endpoints;
           let net = Design.net d po in
           let launch = Option.value (Hashtbl.find_opt r.launches po) ~default:zero in
           let arrival, crit_sink =
@@ -159,7 +172,7 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
           in
           Hashtbl.replace r.end_arrivals po arrival;
           Hashtbl.replace r.end_crit_sink po crit_sink)
-        (Design.primary_outputs d);
+        (Design.primary_outputs d));
       Ok r
 
 let run_exn ?mode ?threshold ?input_arrivals d =

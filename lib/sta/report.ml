@@ -27,7 +27,11 @@ let path_report r endpoint =
   List.iter (fun s -> Buffer.add_string buf (step_to_string s ^ "\n")) steps;
   Buffer.contents buf
 
+let m_reports = Obs.Counter.make "sta.reports"
+
 let timing_report ?period ?hold r =
+  Obs.Span.with_ ~name:"sta.report" @@ fun () ->
+  Obs.Counter.incr m_reports;
   let buf = Buffer.create 512 in
   let mode_name =
     match Analysis.mode r with
