@@ -346,6 +346,131 @@ let scalability_table () =
   Reprolib.Table.print t;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* PR2: the parallel batch engine, 1 vs N domains                     *)
+(* ------------------------------------------------------------------ *)
+
+(* a >=10k-node tree with ~1k marked outputs: [branches] independent
+   chains off the root, an output marked every [mark_every] sections *)
+let wide_tree ~branches ~sections ~mark_every =
+  let b = Rctree.Tree.Builder.create ~name:"wide" () in
+  let root = Rctree.Tree.Builder.input b in
+  for br = 0 to branches - 1 do
+    let first = Rctree.Tree.Builder.add_resistor b ~parent:root 25. in
+    Rctree.Tree.Builder.add_capacitance b first 0.5;
+    let at = ref first in
+    for s = 1 to sections - 1 do
+      let next = Rctree.Tree.Builder.add_resistor b ~parent:!at 10. in
+      Rctree.Tree.Builder.add_capacitance b next 1.;
+      if s mod mark_every = 0 then
+        Rctree.Tree.Builder.mark_output b ~label:(Printf.sprintf "b%d.s%d" br s) next;
+      at := next
+    done
+  done;
+  Rctree.Tree.Builder.finish b
+
+(* (workload, shape, [(domains, ms-per-run)]) *)
+let parallel_rows () =
+  Gc.compact ();
+  let wall ~reps f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e3
+  in
+  let time_at_domains ~reps f =
+    List.map
+      (fun domains ->
+        Parallel.Pool.with_pool ~domains (fun pool ->
+            (domains, wall ~reps (fun () -> f pool))))
+      [ 1; 2; 4 ]
+  in
+  let tree = wide_tree ~branches:16 ~sections:640 ~mark_every:10 in
+  let h = Rctree.Analysis.make tree in
+  let adder = Sta.Generate.ripple_carry_adder ~bits:64 () in
+  let p = Tech.Process.default_4um in
+  let params = Tech.Pla.default_params p in
+  let build process =
+    let t = Tech.Pla.line_tree process params ~minterms:20 in
+    (t, snd (List.hd (Rctree.Tree.outputs t)))
+  in
+  [
+    ( "rctree.all_times",
+      Printf.sprintf "%d nodes, %d outputs" (Rctree.Tree.node_count tree)
+        (List.length (Rctree.Analysis.outputs h)),
+      time_at_domains ~reps:3 (fun pool -> Rctree.Analysis.all_times ~pool h) );
+    ( "sta.run_exn",
+      Printf.sprintf "64-bit adder, %d instances"
+        (List.length (Sta.Design.instances adder)),
+      time_at_domains ~reps:3 (fun pool -> Sta.Analysis.run_exn ~pool adder) );
+    ( "tech.monte_carlo",
+      "200 samples of pla-20",
+      time_at_domains ~reps:1 (fun pool ->
+          Tech.Variation.monte_carlo ~samples:200 ~pool p ~build ~threshold:0.7) );
+  ]
+
+let speedup_at domains times =
+  match (List.assoc_opt 1 times, List.assoc_opt domains times) with
+  | Some t1, Some tn when tn > 0. -> t1 /. tn
+  | _ -> nan
+
+let print_parallel rows =
+  print_endline "== PR2: batch engine throughput, 1 vs N domains ==";
+  Printf.printf "host: %d recommended domain(s)\n" (Domain.recommended_domain_count ());
+  let t =
+    Reprolib.Table.create
+      ~columns:[ "workload"; "shape"; "t1(ms)"; "t2(ms)"; "t4(ms)"; "speedup@4" ]
+  in
+  List.iter
+    (fun (name, shape, times) ->
+      let at d = match List.assoc_opt d times with Some v -> v | None -> nan in
+      Reprolib.Table.add_row t
+        [
+          name; shape;
+          Printf.sprintf "%.1f" (at 1);
+          Printf.sprintf "%.1f" (at 2);
+          Printf.sprintf "%.1f" (at 4);
+          Printf.sprintf "%.2fx" (speedup_at 4 times);
+        ])
+    rows;
+  Reprolib.Table.print t;
+  print_newline ()
+
+let write_bench_pr2_json rows =
+  let path = Option.value (Sys.getenv_opt "BENCH_PR2_JSON") ~default:"BENCH_PR2.json" in
+  let open Obs.Json in
+  let workloads =
+    Object
+      (List.map
+         (fun (name, shape, times) ->
+           ( name,
+             Object
+               [
+                 ("shape", String shape);
+                 ( "ms_per_run",
+                   Object
+                     (List.map
+                        (fun (d, ms) -> (Printf.sprintf "domains_%d" d, Number ms))
+                        times) );
+                 ("speedup_at_4", Number (speedup_at 4 times));
+               ] ))
+         rows)
+  in
+  let doc =
+    Object
+      [
+        ("recommended_domains", Number (float_of_int (Domain.recommended_domain_count ())));
+        ("workloads", workloads);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* machine-readable record for diffing future PRs: per-experiment
    ns/op from the Bechamel phase plus the Obs counters and span
    timings accumulated over the reproduction tables *)
@@ -398,4 +523,7 @@ let () =
   e8_scaling_table ();
   lump_convergence_table ();
   scalability_table ();
-  write_bench_json bench_rows
+  let parallel = parallel_rows () in
+  print_parallel parallel;
+  write_bench_json bench_rows;
+  write_bench_pr2_json parallel

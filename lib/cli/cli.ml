@@ -15,9 +15,14 @@
      stats     metrics self-test on built-in workloads
 
    Every subcommand also accepts --metrics[=FILE] (report to stderr,
-   or JSON lines to FILE) and --trace (span trace to stderr); the
-   RCDELAY_METRICS environment variable enables the same collection
-   without flags. *)
+   or JSON lines to FILE), --trace (span trace to stderr) and --jobs N
+   (worker domains for the parallel batch analyses; the RCDELAY_JOBS
+   environment variable sets the same default).  The RCDELAY_METRICS
+   environment variable enables metrics collection without flags.
+
+   Exit codes: 0 success, 1 run-time failure (including a failed
+   certification), 2 unreadable input — a deck or netlist that does
+   not parse or elaborate. *)
 
 let load_tree path =
   match Spice.Parser.parse_file path with
@@ -27,19 +32,25 @@ let load_tree path =
       | Error e -> Error (Printf.sprintf "%s: %s" path (Spice.Elaborate.error_to_string e))
       | Ok tree -> Ok tree)
 
+(* bad input is exit 2, distinct from analysis failures (exit 1) *)
 let with_tree path f =
   match load_tree path with
   | Error msg ->
       prerr_endline msg;
-      1
+      2
   | Ok tree -> f tree
 
 let fmt_s t = Rctree.Units.format_quantity ~unit_symbol:"s" t
 
+(* every all-outputs subcommand builds one Analysis handle and runs
+   its batch queries through the shared pool (sized by --jobs /
+   RCDELAY_JOBS); output is identical to the old per-output loops *)
+
 let times_cmd path =
   with_tree path (fun tree ->
+      let h = Rctree.Analysis.make tree in
       let table = Reprolib.Table.create ~columns:[ "output"; "T_P"; "T_De"; "T_Re"; "Elmore" ] in
-      List.iter
+      Array.iter
         (fun (label, _, ts) ->
           Reprolib.Table.add_row table
             [
@@ -49,48 +60,57 @@ let times_cmd path =
               fmt_s ts.Rctree.Times.t_r;
               fmt_s ts.Rctree.Times.t_d;
             ])
-        (Rctree.Moments.all_output_times tree);
+        (Rctree.Analysis.all_times h);
       Reprolib.Table.print table;
       0)
 
 let bounds_cmd path thresholds =
   with_tree path (fun tree ->
+      let h = Rctree.Analysis.make tree in
+      let per_threshold =
+        List.map (fun v -> (v, Rctree.Analysis.all_delay_bounds h ~threshold:v)) thresholds
+      in
       let table = Reprolib.Table.create ~columns:[ "output"; "V"; "t_min"; "t_max" ] in
-      List.iter
-        (fun (label, id, _) ->
+      List.iteri
+        (fun i (label, _) ->
           List.iter
-            (fun v ->
-              let lo, hi = Rctree.delay_bounds tree ~output:id ~threshold:v in
+            (fun (v, rows) ->
+              let _, _, (lo, hi) = rows.(i) in
               Reprolib.Table.add_row table [ label; Printf.sprintf "%g" v; fmt_s lo; fmt_s hi ])
-            thresholds)
-        (Rctree.Moments.all_output_times tree);
+            per_threshold)
+        (Rctree.Analysis.outputs h);
       Reprolib.Table.print table;
       0)
 
 let voltage_cmd path times =
   with_tree path (fun tree ->
+      let h = Rctree.Analysis.make tree in
+      let per_time =
+        List.map (fun t -> (t, Rctree.Analysis.all_voltage_bounds h ~time:t)) times
+      in
       let table = Reprolib.Table.create ~columns:[ "output"; "t"; "v_min"; "v_max" ] in
-      List.iter
-        (fun (label, id, _) ->
+      List.iteri
+        (fun i (label, _) ->
           List.iter
-            (fun t ->
-              let lo, hi = Rctree.voltage_bounds tree ~output:id ~time:t in
+            (fun (t, rows) ->
+              let _, _, (lo, hi) = rows.(i) in
               Reprolib.Table.add_row table
                 [ label; fmt_s t; Printf.sprintf "%.5f" lo; Printf.sprintf "%.5f" hi ])
-            times)
-        (Rctree.Moments.all_output_times tree);
+            per_time)
+        (Rctree.Analysis.outputs h);
       Reprolib.Table.print table;
       0)
 
 let certify_cmd path threshold deadline =
   with_tree path (fun tree ->
+      let h = Rctree.Analysis.make tree in
+      let verdicts = Rctree.Analysis.all_certify h ~threshold ~deadline in
       let all_pass = ref true in
-      List.iter
-        (fun (label, id, _) ->
-          let verdict = Rctree.certify tree ~output:id ~threshold ~deadline in
+      Array.iter
+        (fun (label, _, verdict) ->
           if verdict <> Rctree.Bounds.Pass then all_pass := false;
           Printf.printf "%-16s %s\n" label (Rctree.Bounds.verdict_to_string verdict))
-        (Rctree.Moments.all_output_times tree);
+        verdicts;
       if !all_pass then 0 else 1)
 
 let simulate_cmd path t_end samples segments =
@@ -214,7 +234,7 @@ let sta_cmd path period hold elmore =
   match Sta.Netlist_io.parse_file lib path with
   | Error e ->
       prerr_endline (Printf.sprintf "%s: %s" path (Sta.Netlist_io.error_to_string e));
-      1
+      2
   | Ok design -> (
       (match Sta.Design.check design with
       | [] -> ()
@@ -265,6 +285,7 @@ let fig10_cmd () =
    observability wiring itself *)
 let stats_cmd () =
   Obs.set_enabled true;
+  let pool_ok = ref false in
   Obs.Span.with_ ~name:"cli.stats.workload" (fun () ->
       let expr = Rctree.Expr.fig7 in
       ignore (Rctree.Expr.times expr);
@@ -283,7 +304,16 @@ let stats_cmd () =
       let out = Rctree.Tree.output_named chain "out" in
       ignore (Circuit.Large.step_response chain ~dt:1e-10 ~t_end:2e-9 ~outputs:[ out ]);
       let adder = Sta.Generate.ripple_carry_adder ~bits:4 () in
-      ignore (Sta.Report.timing_report (Sta.Analysis.run_exn adder)));
+      ignore (Sta.Report.timing_report (Sta.Analysis.run_exn adder));
+      (* the parallel engine: batch characteristic times of every node
+         of the chain through a 2-domain pool, checked bit-for-bit
+         against serial one-shot queries *)
+      Parallel.Pool.with_pool ~domains:2 (fun pool ->
+          let h = Rctree.Analysis.make chain in
+          let nodes = Array.init (Rctree.Tree.node_count chain) (fun i -> i) in
+          let par = Rctree.Analysis.times_of_nodes ~pool h nodes in
+          let ser = Array.map (fun id -> Rctree.Moments.times chain ~output:id) nodes in
+          pool_ok := par = ser));
   print_string (Obs.report ());
   let counter name = Option.value (List.assoc_opt name (Obs.counters ())) ~default:0 in
   let missing =
@@ -293,23 +323,26 @@ let stats_cmd () =
         "cg.iterations"; "eigen.decompositions"; "lu.factorizations"; "ode.steps";
         "transient.simulations"; "large.timesteps"; "expr.evals"; "convert.tree_of_expr";
         "spice.decks_parsed"; "spice.elaborations"; "sta.instances_visited";
+        "pool.jobs"; "pool.chunks"; "rctree.analysis_handles"; "rctree.analysis_batches";
       ]
   in
   let no_span = Obs.Span.calls "circuit.transient" = 0 || Obs.Span.calls "sta.report" = 0 in
-  if missing = [] && not no_span then begin
+  if missing = [] && (not no_span) && !pool_ok then begin
     print_endline "self-test: all instrumented layers reported";
+    print_endline "self-test: pool results bit-identical to serial";
     0
   end
   else begin
     List.iter (fun n -> prerr_endline ("self-test: no samples from " ^ n)) missing;
     if no_span then prerr_endline "self-test: expected spans missing";
+    if not !pool_ok then prerr_endline "self-test: pool results differ from serial";
     1
   end
 
 open Cmdliner
 
-(* --metrics / --trace, shared by every subcommand *)
-type obs_cfg = { metrics : string option; trace : bool }
+(* --metrics / --trace / --jobs, shared by every subcommand *)
+type obs_cfg = { metrics : string option; trace : bool; jobs : int option }
 
 let obs_term =
   let metrics =
@@ -327,27 +360,43 @@ let obs_term =
       & info [ "trace" ]
           ~doc:"Also record individual span timings and print the trace to stderr.")
   in
-  Term.(const (fun metrics trace -> { metrics; trace }) $ metrics $ trace)
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains for the parallel batch analyses (default: $(b,RCDELAY_JOBS), else the \
+             machine's recommended domain count).  Results are identical at any setting; \
+             $(docv) = 1 disables parallelism.")
+  in
+  Term.(const (fun metrics trace jobs -> { metrics; trace; jobs }) $ metrics $ trace $ jobs)
 
 let run_obs cfg name f =
-  if cfg.metrics <> None || cfg.trace then Obs.set_enabled true;
-  if cfg.trace then Obs.Span.set_trace true;
-  let code = Obs.Span.with_ ~name:("cli." ^ name) f in
-  let code =
-    match cfg.metrics with
-    | None | Some "" | Some "-" ->
-        if cfg.metrics <> None then prerr_string (Obs.report ());
-        code
-    | Some file -> (
-        try
-          Obs.write_json_lines file;
-          code
-        with Sys_error msg ->
-          Printf.eprintf "rcdelay: cannot write metrics: %s\n" msg;
-          max code 1)
-  in
-  if cfg.trace then prerr_string (Obs.trace_report ());
-  code
+  match cfg.jobs with
+  | Some n when n < 1 ->
+      prerr_endline "rcdelay: --jobs must be >= 1";
+      2
+  | jobs ->
+      Option.iter Parallel.Pool.set_default_domains jobs;
+      if cfg.metrics <> None || cfg.trace then Obs.set_enabled true;
+      if cfg.trace then Obs.Span.set_trace true;
+      let code = Obs.Span.with_ ~name:("cli." ^ name) f in
+      let code =
+        match cfg.metrics with
+        | None | Some "" | Some "-" ->
+            if cfg.metrics <> None then prerr_string (Obs.report ());
+            code
+        | Some file -> (
+            try
+              Obs.write_json_lines file;
+              code
+            with Sys_error msg ->
+              Printf.eprintf "rcdelay: cannot write metrics: %s\n" msg;
+              max code 1)
+      in
+      if cfg.trace then prerr_string (Obs.trace_report ());
+      code
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK" ~doc:"SPICE-like deck file.")

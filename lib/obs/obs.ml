@@ -22,7 +22,18 @@ let now () = Unix.gettimeofday ()
 (* registry                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let counter_table : (string, int ref) Hashtbl.t = Hashtbl.create 64
+(* One lock guards the registry tables and every compound update
+   (histograms, span aggregates, the trace buffer), so collection stays
+   coherent when pool worker domains record concurrently.  Counters are
+   atomics and skip the lock on the hot path; gauges are single-word
+   stores, which the OCaml memory model already keeps tear-free. *)
+let registry_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
+
+let counter_table : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 64
 let gauge_table : (string, float ref) Hashtbl.t = Hashtbl.create 16
 
 type hist = {
@@ -44,25 +55,27 @@ let sorted_bindings table =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 module Counter = struct
-  type t = int ref
+  type t = int Atomic.t
 
   let make name =
+    locked @@ fun () ->
     match Hashtbl.find_opt counter_table name with
     | Some c -> c
     | None ->
-        let c = ref 0 in
+        let c = Atomic.make 0 in
         Hashtbl.replace counter_table name c;
         c
 
-  let incr c = if !enabled_flag then Stdlib.incr c
-  let add c n = if !enabled_flag then c := !c + n
-  let value c = !c
+  let incr c = if !enabled_flag then Atomic.incr c
+  let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c n)
+  let value c = Atomic.get c
 end
 
 module Gauge = struct
   type t = float ref
 
   let make name =
+    locked @@ fun () ->
     match Hashtbl.find_opt gauge_table name with
     | Some g -> g
     | None ->
@@ -78,6 +91,7 @@ module Histogram = struct
   type t = hist
 
   let make name =
+    locked @@ fun () ->
     match Hashtbl.find_opt hist_table name with
     | Some h -> h
     | None ->
@@ -97,7 +111,8 @@ module Histogram = struct
     if e = min_int then 0. else Float.pow 2. (float_of_int e)
 
   let observe h v =
-    if !enabled_flag then begin
+    if !enabled_flag then
+      locked @@ fun () ->
       h.count <- h.count + 1;
       h.sum <- h.sum +. v;
       if v < h.min_v then h.min_v <- v;
@@ -106,7 +121,6 @@ module Histogram = struct
       match Hashtbl.find_opt h.buckets e with
       | Some c -> Stdlib.incr c
       | None -> Hashtbl.replace h.buckets e (ref 1)
-    end
 
   let count h = h.count
   let sum h = h.sum
@@ -140,14 +154,16 @@ end
 module Span = struct
   type event = { name : string; depth : int; start : float; duration : float }
 
-  let depth_ref = ref 0
+  (* span nesting is a per-domain notion: each domain tracks its own
+     stack depth while the aggregates stay process-global *)
+  let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
   let trace_flag = ref false
   let trace_limit = 10_000
   let trace_buf : event Queue.t = Queue.create ()
 
   let set_trace b = trace_flag := b
   let trace_enabled () = !trace_flag
-  let events () = List.of_seq (Queue.to_seq trace_buf)
+  let events () = locked (fun () -> List.of_seq (Queue.to_seq trace_buf))
 
   let agg name =
     match Hashtbl.find_opt span_table name with
@@ -157,52 +173,63 @@ module Span = struct
         Hashtbl.replace span_table name a;
         a
 
-  let record name start =
+  let record name depth start =
     let dur = now () -. start in
+    locked @@ fun () ->
     let a = agg name in
     a.calls <- a.calls + 1;
     a.total <- a.total +. dur;
     if dur > a.max_t then a.max_t <- dur;
     if !trace_flag && Queue.length trace_buf < trace_limit then
-      Queue.add { name; depth = !depth_ref; start; duration = dur } trace_buf
+      Queue.add { name; depth; start; duration = dur } trace_buf
 
   let with_ ~name f =
     if not !enabled_flag then f ()
     else begin
       let start = now () in
-      let d = !depth_ref in
-      depth_ref := d + 1;
+      let depth = Domain.DLS.get depth_key in
+      let d = !depth in
+      depth := d + 1;
       Fun.protect
         ~finally:(fun () ->
-          depth_ref := d;
-          record name start)
+          depth := d;
+          record name d start)
         f
     end
 
-  let calls name = match Hashtbl.find_opt span_table name with Some a -> a.calls | None -> 0
+  let calls name =
+    locked (fun () ->
+        match Hashtbl.find_opt span_table name with Some a -> a.calls | None -> 0)
 
   let total_time name =
-    match Hashtbl.find_opt span_table name with Some a -> a.total | None -> 0.
+    locked (fun () ->
+        match Hashtbl.find_opt span_table name with Some a -> a.total | None -> 0.)
 end
 
-let counters () = List.map (fun (n, c) -> (n, !c)) (sorted_bindings counter_table)
-let gauges () = List.map (fun (n, g) -> (n, !g)) (sorted_bindings gauge_table)
-let span_totals () = List.map (fun (n, a) -> (n, a.calls, a.total)) (sorted_bindings span_table)
+let counters () =
+  locked (fun () -> List.map (fun (n, c) -> (n, Atomic.get c)) (sorted_bindings counter_table))
+
+let gauges () = locked (fun () -> List.map (fun (n, g) -> (n, !g)) (sorted_bindings gauge_table))
+
+let span_totals () =
+  locked (fun () ->
+      List.map (fun (n, a) -> (n, a.calls, a.total)) (sorted_bindings span_table))
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c := 0) counter_table;
-  Hashtbl.iter (fun _ g -> g := 0.) gauge_table;
-  Hashtbl.iter
-    (fun _ h ->
-      h.count <- 0;
-      h.sum <- 0.;
-      h.min_v <- infinity;
-      h.max_v <- neg_infinity;
-      Hashtbl.reset h.buckets)
-    hist_table;
-  Hashtbl.reset span_table;
-  Queue.clear Span.trace_buf;
-  Span.depth_ref := 0
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counter_table;
+      Hashtbl.iter (fun _ g -> g := 0.) gauge_table;
+      Hashtbl.iter
+        (fun _ h ->
+          h.count <- 0;
+          h.sum <- 0.;
+          h.min_v <- infinity;
+          h.max_v <- neg_infinity;
+          Hashtbl.reset h.buckets)
+        hist_table;
+      Hashtbl.reset span_table;
+      Queue.clear Span.trace_buf);
+  Domain.DLS.get Span.depth_key := 0
 
 (* ------------------------------------------------------------------ *)
 (* JSON (hand-rolled: no external deps allowed)                       *)
@@ -410,7 +437,7 @@ let report () =
     (fun (n, v) -> Reprolib.Table.add_row values [ n; Printf.sprintf "%g" v ])
     (gauges ());
   Buffer.add_string buf (Reprolib.Table.render values);
-  let hists = sorted_bindings hist_table in
+  let hists = locked (fun () -> sorted_bindings hist_table) in
   if List.exists (fun (_, h) -> h.count > 0) hists then begin
     Buffer.add_string buf "\n== histograms ==\n";
     let t =
@@ -432,7 +459,7 @@ let report () =
       hists;
     Buffer.add_string buf (Reprolib.Table.render t)
   end;
-  let spans = sorted_bindings span_table in
+  let spans = locked (fun () -> sorted_bindings span_table) in
   if spans <> [] then begin
     Buffer.add_string buf "\n== spans ==\n";
     let t = Reprolib.Table.create ~columns:[ "span"; "calls"; "total(ms)"; "mean(ms)"; "max(ms)" ] in
@@ -492,7 +519,7 @@ let to_json_lines () =
         (Json.Object
            [ ("type", Json.String "gauge"); ("name", Json.String n); ("value", Json.Number v) ]))
     (gauges ());
-  List.iter (fun (n, h) -> line (hist_json n h)) (sorted_bindings hist_table);
+  List.iter (fun (n, h) -> line (hist_json n h)) (locked (fun () -> sorted_bindings hist_table));
   List.iter
     (fun (n, a) ->
       line
@@ -504,7 +531,7 @@ let to_json_lines () =
              ("total_s", Json.Number a.total);
              ("max_s", Json.Number a.max_t);
            ]))
-    (sorted_bindings span_table);
+    (locked (fun () -> sorted_bindings span_table));
   Buffer.contents buf
 
 let write_json_lines path =

@@ -12,7 +12,17 @@
 
     Metrics register themselves on first {e make}, typically at module
     initialisation, so exports list every known metric even at value
-    zero. *)
+    zero.
+
+    {b Domain safety}: collection is safe from multiple domains (the
+    pool's workers record freely).  Counters are atomics; histogram
+    observations, span aggregates and the trace buffer are guarded by
+    one registry lock; gauges are single-word stores (last writer
+    wins).  Span {e nesting depth} is tracked per domain, so spans
+    recorded inside pool tasks nest relative to that domain's own
+    stack.  {!set_enabled}, {!set_trace} and {!reset} are
+    configuration, not instrumentation — call them from one domain
+    while no tasks are in flight. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit

@@ -1,0 +1,64 @@
+let m_handles = Obs.Counter.make "rctree.analysis_handles"
+let m_queries = Obs.Counter.make "rctree.analysis_queries"
+let m_batches = Obs.Counter.make "rctree.analysis_batches"
+
+type t = {
+  tree : Tree.t;
+  rkk : float array; (* R_kk of every node, the shared-path prefix table *)
+  outputs : (string * Tree.node_id) list;
+}
+
+type output = [ `Id of Tree.node_id | `Name of string ]
+
+let make tree =
+  Obs.Counter.incr m_handles;
+  { tree; rkk = Path.all_resistances_to_root tree; outputs = Tree.outputs tree }
+
+let tree t = t.tree
+let outputs t = t.outputs
+
+let resolve t = function
+  | `Id id ->
+      if id < 0 || id >= Tree.node_count t.tree then
+        invalid_arg (Printf.sprintf "Rctree.Analysis: unknown node %d" id);
+      id
+  | `Name label -> (
+      match List.assoc_opt label t.outputs with
+      | Some id -> id
+      | None -> invalid_arg (Printf.sprintf "Rctree.Analysis: no output labelled %S" label))
+
+let times t ~output =
+  Obs.Counter.incr m_queries;
+  Moments.times ~rkk:t.rkk t.tree ~output:(resolve t output)
+
+let delay_bounds t ~output ~threshold =
+  let ts = times t ~output in
+  (Bounds.t_min ts threshold, Bounds.t_max ts threshold)
+
+let voltage_bounds t ~output ~time =
+  let ts = times t ~output in
+  (Bounds.v_min ts time, Bounds.v_max ts time)
+
+let certify t ~output ~threshold ~deadline = Bounds.certify (times t ~output) ~threshold ~deadline
+let elmore t ~output = (times t ~output).Times.t_d
+
+let batch ?pool t f =
+  Obs.Counter.incr m_batches;
+  Obs.Span.with_ ~name:"rctree.analysis_batch" @@ fun () ->
+  Parallel.Pool.map ?pool (fun (label, id) -> (label, id, f id)) (Array.of_list t.outputs)
+
+let all_times ?pool t = batch ?pool t (fun id -> times t ~output:(`Id id))
+
+let all_delay_bounds ?pool t ~threshold =
+  batch ?pool t (fun id -> delay_bounds t ~output:(`Id id) ~threshold)
+
+let all_voltage_bounds ?pool t ~time =
+  batch ?pool t (fun id -> voltage_bounds t ~output:(`Id id) ~time)
+
+let all_certify ?pool t ~threshold ~deadline =
+  batch ?pool t (fun id -> certify t ~output:(`Id id) ~threshold ~deadline)
+
+let times_of_nodes ?pool t nodes =
+  Obs.Counter.incr m_batches;
+  Obs.Span.with_ ~name:"rctree.analysis_batch" @@ fun () ->
+  Parallel.Pool.map ?pool (fun id -> times t ~output:(`Id id)) nodes

@@ -1,0 +1,72 @@
+(** Build-once / query-many handle over one RC tree.
+
+    The one-shot functions of {!Rctree} re-derive the path-resistance
+    array [R_kk] on every call; a handle computes it (and the output
+    directory) once at {!make} and then answers any number of
+    {!times} / {!delay_bounds} / {!voltage_bounds} / {!certify} /
+    {!elmore} queries without re-traversing the tree structure.  Every
+    query is bit-identical to its legacy one-shot counterpart — the
+    cached arrays hold exactly the values the one-shot path would
+    recompute (property-tested).
+
+    A handle is immutable after [make], so any number of domains may
+    query it concurrently without locks; the [all_*] batch functions
+    below do exactly that through a {!Parallel.Pool}, with
+    deterministic, serial-identical results.
+
+    Outputs are addressed uniformly: every query takes
+    [~output:(`Id node | `Name label)], and every lookup failure
+    raises [Invalid_argument] with a [Rctree.Analysis:] message —
+    never [Not_found]. *)
+
+type t
+
+type output = [ `Id of Tree.node_id | `Name of string ]
+(** [`Id] is any node of the tree; [`Name] is a marked-output label. *)
+
+val make : Tree.t -> t
+(** One O(n) traversal: path resistances to the root plus the output
+    directory. *)
+
+val tree : t -> Tree.t
+val outputs : t -> (string * Tree.node_id) list
+(** The tree's marked outputs, in marking order. *)
+
+val resolve : t -> output -> Tree.node_id
+(** The node an [output] designates.  Raises [Invalid_argument] for an
+    out-of-range [`Id] or an unknown [`Name]. *)
+
+val times : t -> output:output -> Times.t
+(** Characteristic times [T_P], [T_De], [T_Re] — eqs. (1), (5), (6). *)
+
+val delay_bounds : t -> output:output -> threshold:float -> float * float
+val voltage_bounds : t -> output:output -> time:float -> float * float
+val certify : t -> output:output -> threshold:float -> deadline:float -> Bounds.verdict
+val elmore : t -> output:output -> float
+
+(** {2 Batch queries}
+
+    Each runs over every marked output through the pool ([pool]
+    defaults to the shared {!Parallel.Pool.get}), in marking order.
+    With [n] outputs the work is [n] independent O(tree) queries —
+    the embarrassingly parallel shape the paper's Section IV sells. *)
+
+val all_times : ?pool:Parallel.Pool.t -> t -> (string * Tree.node_id * Times.t) array
+
+val all_delay_bounds :
+  ?pool:Parallel.Pool.t -> t -> threshold:float -> (string * Tree.node_id * (float * float)) array
+
+val all_voltage_bounds :
+  ?pool:Parallel.Pool.t -> t -> time:float -> (string * Tree.node_id * (float * float)) array
+
+val all_certify :
+  ?pool:Parallel.Pool.t ->
+  t ->
+  threshold:float ->
+  deadline:float ->
+  (string * Tree.node_id * Bounds.verdict) array
+
+val times_of_nodes : ?pool:Parallel.Pool.t -> t -> Tree.node_id array -> Times.t array
+(** Batch {!times} over an arbitrary node set (not just marked
+    outputs) — characteristic times of every sink of a large net in
+    one call. *)

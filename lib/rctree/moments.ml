@@ -42,10 +42,10 @@ let sums_for_output t ~output ~rkk ~rke ~on_path =
   let t_r = if ree = 0. then 0. else !second /. ree in
   Times.make ~t_p:!tp ~t_d:!first ~t_r
 
-let times t ~output =
+let times ?rkk t ~output =
   if output < 0 || output >= Tree.node_count t then invalid_arg "Moments.times: unknown node";
-  let rkk = Path.all_resistances_to_root t in
-  let rke = Path.shared_resistances_to t output in
+  let rkk = match rkk with Some r -> r | None -> Path.all_resistances_to_root t in
+  let rke = Path.shared_resistances_to ~rkk t output in
   let on_path = Path.on_path_to t output in
   sums_for_output t ~output ~rkk ~rke ~on_path
 

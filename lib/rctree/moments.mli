@@ -19,8 +19,12 @@
 val t_p : Tree.t -> float
 (** [T_P = Σ R_kk C_k] — output-independent (eq. 5). *)
 
-val times : Tree.t -> output:Tree.node_id -> Times.t
-(** All three characteristic times for one output, O(n). *)
+val times : ?rkk:float array -> Tree.t -> output:Tree.node_id -> Times.t
+(** All three characteristic times for one output, O(n).  [rkk], when
+    given, must be {!Path.all_resistances_to_root} of the same tree;
+    passing it skips the two [R_kk] rebuilds a bare call performs, and
+    because the cached array holds exactly the values the bare call
+    would recompute, the result is bit-identical either way. *)
 
 val times_direct : Tree.t -> output:Tree.node_id -> Times.t
 (** Same result by pairwise shared-resistance queries (the "compute

@@ -29,23 +29,34 @@ module Convert = Convert
 module Lump = Lump
 module Validate = Validate
 module Units = Units
+module Analysis = Analysis
 
-let analyze tree ~output = Moments.times tree ~output
+(* the one-shot functions are thin wrappers over a throwaway handle;
+   build the handle yourself ({!Analysis.make}) to amortize its
+   traversal over many queries *)
 
-let analyze_named tree ~output =
-  match List.assoc_opt output (Tree.outputs tree) with
-  | Some id -> Moments.times tree ~output:id
-  | None -> invalid_arg (Printf.sprintf "Rctree.analyze_named: no output labelled %S" output)
+let analyze tree ~output = Analysis.times (Analysis.make tree) ~output:(`Id output)
+let analyze_named tree ~output = Analysis.times (Analysis.make tree) ~output:(`Name output)
 
 let delay_bounds tree ~output ~threshold =
-  let ts = analyze tree ~output in
-  (Bounds.t_min ts threshold, Bounds.t_max ts threshold)
+  Analysis.delay_bounds (Analysis.make tree) ~output:(`Id output) ~threshold
+
+let delay_bounds_named tree ~output ~threshold =
+  Analysis.delay_bounds (Analysis.make tree) ~output:(`Name output) ~threshold
 
 let voltage_bounds tree ~output ~time =
-  let ts = analyze tree ~output in
-  (Bounds.v_min ts time, Bounds.v_max ts time)
+  Analysis.voltage_bounds (Analysis.make tree) ~output:(`Id output) ~time
+
+let voltage_bounds_named tree ~output ~time =
+  Analysis.voltage_bounds (Analysis.make tree) ~output:(`Name output) ~time
 
 let certify tree ~output ~threshold ~deadline =
-  Bounds.certify (analyze tree ~output) ~threshold ~deadline
+  Analysis.certify (Analysis.make tree) ~output:(`Id output) ~threshold ~deadline
 
-let elmore_delay tree ~output = Moments.elmore tree ~output
+let certify_named tree ~output ~threshold ~deadline =
+  Analysis.certify (Analysis.make tree) ~output:(`Name output) ~threshold ~deadline
+
+let elmore_delay tree ~output = Analysis.elmore (Analysis.make tree) ~output:(`Id output)
+
+let elmore_delay_named tree ~output =
+  Analysis.elmore (Analysis.make tree) ~output:(`Name output)

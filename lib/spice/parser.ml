@@ -1,10 +1,25 @@
-type error = { line : int; message : string }
+type error = { line : int; column : int; message : string }
 
-let error_to_string { line; message } = Printf.sprintf "line %d: %s" line message
+let error_to_string { line; column; message } =
+  if column > 0 then Printf.sprintf "line %d, column %d: %s" line column message
+  else Printf.sprintf "line %d: %s" line message
 
 exception Parse_error of error
 
-let fail line message = raise (Parse_error { line; message })
+let fail ?(column = 0) line message = raise (Parse_error { line; column; message })
+
+(* 1-based column of the first occurrence of [tok] as a whole token in
+   the logical line; 0 when it cannot be located (e.g. the line was
+   reassembled from continuations) *)
+let column_of line tok =
+  let ll = String.length line and tl = String.length tok in
+  let blank i = i < 0 || i >= ll || line.[i] = ' ' || line.[i] = '\t' in
+  let rec scan i =
+    if tl = 0 || i + tl > ll then 0
+    else if String.sub line i tl = tok && blank (i - 1) && blank (i + tl) then i + 1
+    else scan (i + 1)
+  in
+  scan 0
 
 let strip_trailing_comment s =
   let cut_at = ref (String.length s) in
@@ -38,10 +53,10 @@ let tokens line =
   String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
   |> List.filter (fun t -> t <> "")
 
-let parse_value n what s =
+let parse_value ?(line = "") n what s =
   match Rctree.Units.parse_si s with
   | Some v when Float.is_finite v -> v
-  | Some _ | None -> fail n (Printf.sprintf "bad %s value %S" what s)
+  | Some _ | None -> fail ~column:(column_of line s) n (Printf.sprintf "bad %s value %S" what s)
 
 let elem_name prefix tok =
   (* "R1" -> "1"; keep the full token when it is just the letter *)
@@ -52,11 +67,12 @@ let parse_card n line =
   | [] -> fail n "empty card"
   | head :: args -> (
       let kind = Char.lowercase_ascii head.[0] in
+      let parse_value what s = parse_value ~line n what s in
       match (kind, args) with
       | 'r', [ n1; n2; v ] ->
-          `Card (Deck.Resistor { name = elem_name "r" head; n1; n2; value = parse_value n "resistance" v })
+          `Card (Deck.Resistor { name = elem_name "r" head; n1; n2; value = parse_value "resistance" v })
       | 'c', [ n1; n2; v ] ->
-          `Card (Deck.Capacitor { name = elem_name "c" head; n1; n2; value = parse_value n "capacitance" v })
+          `Card (Deck.Capacitor { name = elem_name "c" head; n1; n2; value = parse_value "capacitance" v })
       | 'u', [ n1; n2; r; c ] ->
           `Card
             (Deck.Line
@@ -64,11 +80,12 @@ let parse_card n line =
                  name = elem_name "u" head;
                  n1;
                  n2;
-                 resistance = parse_value n "resistance" r;
-                 capacitance = parse_value n "capacitance" c;
+                 resistance = parse_value "resistance" r;
+                 capacitance = parse_value "capacitance" c;
                })
       | 'v', (n1 :: n2 :: _ : string list) -> `Card (Deck.Source { name = elem_name "v" head; n1; n2 })
-      | ('r' | 'c' | 'u' | 'v'), _ -> fail n (Printf.sprintf "wrong argument count for %S" head)
+      | ('r' | 'c' | 'u' | 'v'), _ ->
+          fail ~column:(column_of line head) n (Printf.sprintf "wrong argument count for %S" head)
       | '.', _ -> (
           match (String.lowercase_ascii head, args) with
           | ".end", _ -> `End
@@ -84,8 +101,8 @@ let parse_card n line =
               in
               `Include path
           | ".include", _ -> fail n ".include needs exactly one path"
-          | d, _ -> fail n (Printf.sprintf "unknown directive %S" d))
-      | _, _ -> fail n (Printf.sprintf "unknown card %S" head))
+          | d, _ -> fail ~column:(column_of line head) n (Printf.sprintf "unknown directive %S" d))
+      | _, _ -> fail ~column:(column_of line head) n (Printf.sprintf "unknown card %S" head))
 
 (* resolver: how to turn an .include path into a sub-deck *)
 let parse_lines_exn ?resolve lines =
@@ -119,7 +136,7 @@ let parse_lines_exn ?resolve lines =
                     outputs := !outputs @ sub.Deck.outputs
                 | Error e ->
                     fail n
-                      (Printf.sprintf "in included file %S, line %d: %s" path e.line e.message)))
+                      (Printf.sprintf "in included file %S, %s" path (error_to_string e))))
         | `End -> ended := true)
     body;
   Deck.make ~title:!title ~outputs:!outputs (List.rev !cards)
@@ -157,13 +174,13 @@ let read_lines path =
 let parse_file ?(max_include_depth = 16) path =
   Obs.Span.with_ ~name:"spice.parse" @@ fun () ->
   let rec go depth path =
-    if depth < 0 then Error { line = 0; message = "includes nested too deeply" }
+    if depth < 0 then Error { line = 0; column = 0; message = "includes nested too deeply" }
     else begin
       let dir = Filename.dirname path in
       let resolve sub =
         let sub_path = if Filename.is_relative sub then Filename.concat dir sub else sub in
         if Sys.file_exists sub_path then go (depth - 1) sub_path
-        else Error { line = 0; message = "file not found" }
+        else Error { line = 0; column = 0; message = "file not found" }
       in
       record_parse
         (match parse_lines_exn ~resolve (read_lines path) with

@@ -5,7 +5,12 @@
     letters, a first line treated as the title when it parses as no
     known card, [.title]/[.output]/[.end] directives. *)
 
-type error = { line : int; message : string }
+type error = { line : int; column : int; message : string }
+(** Parsing never raises: every malformed deck comes back as [Error].
+    [line] is 1-based; [column] is the 1-based position of the
+    offending token within its logical line, or [0] when no single
+    token is to blame (wrong card shape, deck-level problems, or a
+    line reassembled from [+] continuations). *)
 
 val parse_string : string -> (Deck.t, error) result
 

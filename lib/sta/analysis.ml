@@ -11,10 +11,16 @@ type step =
   | Through_net of { net : string; launch : window; arrival : window }
   | Through_cell of { instance : string; cell : string; input : string; output : window }
 
+(* per-net interconnect delays, computed once up front: [pins] maps
+   every load pin to its window in the chosen mode; [noload] is the
+   far-end window of a loadless net (meaningful only there) *)
+type net_delay = { pins : (Design.pin * window) list; noload : window }
+
 type t = {
   design : Design.t;
   analysis_mode : mode;
   thresh : float;
+  net_delays : (string, net_delay) Hashtbl.t; (* net -> precomputed windows *)
   launches : (string, window) Hashtbl.t; (* net -> window at driver output *)
   pin_arrivals : (string * string, window) Hashtbl.t; (* load pin -> window *)
   out_arrivals : (string, window) Hashtbl.t; (* instance -> output window *)
@@ -26,19 +32,40 @@ type t = {
 
 let add_window a b = { early = a.early +. b.early; late = a.late +. b.late }
 
-let net_window r d (net : Design.net) pin =
-  match r.analysis_mode with
-  | Bounds_mode ->
-      let delays = Netdelay.sink_delays ~threshold:r.thresh d net in
-      let sd = List.find (fun (s : Netdelay.sink_delay) -> s.sink = pin) delays in
-      let lo, hi = sd.window in
-      { early = lo; late = hi }
-  | Elmore_mode ->
-      let delays = Netdelay.sink_delays ~threshold:r.thresh d net in
-      let sd = List.find (fun (s : Netdelay.sink_delay) -> s.sink = pin) delays in
-      { early = sd.elmore; late = sd.elmore }
+(* pure in the design: safe to evaluate for many nets concurrently *)
+let precompute_net mode thresh d (net : Design.net) =
+  match net.Design.loads with
+  | _ :: _ ->
+      let delays = Netdelay.sink_delays ~threshold:thresh d net in
+      let pins =
+        List.map
+          (fun (s : Netdelay.sink_delay) ->
+            match mode with
+            | Bounds_mode ->
+                let lo, hi = s.window in
+                (s.sink, { early = lo; late = hi })
+            | Elmore_mode -> (s.sink, { early = s.elmore; late = s.elmore }))
+          delays
+      in
+      { pins; noload = { early = 0.; late = 0. } }
+  | [] ->
+      let noload =
+        match mode with
+        | Bounds_mode ->
+            let lo, hi = Netdelay.worst_window ~threshold:thresh d net in
+            { early = lo; late = hi }
+        | Elmore_mode ->
+            let tree = Netdelay.tree_of_net d net in
+            let output = snd (List.hd (Rctree.Tree.outputs tree)) in
+            let e = Rctree.Moments.elmore tree ~output in
+            { early = e; late = e }
+      in
+      { pins = []; noload }
 
-let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
+let net_window r (net : Design.net) pin =
+  List.assoc pin (Hashtbl.find r.net_delays net.Design.net_name).pins
+
+let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) ?pool d =
   List.iter
     (fun (name, at) ->
       (match Design.net d name with
@@ -56,11 +83,24 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
   with
   | Error cycle -> Error cycle
   | Ok order ->
+      (* the expensive part — one RC-tree analysis per net — is
+         independent across nets; fan it out before the (cheap,
+         order-dependent) propagation below *)
+      let net_delays = Hashtbl.create 16 in
+      Obs.Span.with_ ~name:"sta.netdelay" (fun () ->
+          let nets = Array.of_list (Design.nets d) in
+          let computed =
+            Parallel.Pool.map ?pool (fun net -> precompute_net mode threshold d net) nets
+          in
+          Array.iteri
+            (fun i nd -> Hashtbl.replace net_delays nets.(i).Design.net_name nd)
+            computed);
       let r =
         {
           design = d;
           analysis_mode = mode;
           thresh = threshold;
+          net_delays;
           launches = Hashtbl.create 16;
           pin_arrivals = Hashtbl.create 16;
           out_arrivals = Hashtbl.create 16;
@@ -94,7 +134,7 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
             Obs.Counter.incr m_nets;
             List.iter
               (fun pin ->
-                let w = net_window r d net pin in
+                let w = net_window r net pin in
                 Hashtbl.replace r.pin_arrivals (pin.Design.instance, pin.Design.pin)
                   (add_window launch w))
               net.Design.loads
@@ -147,20 +187,13 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
           let arrival, crit_sink =
             match net.Design.loads with
             | [] ->
-                let lo, hi = Netdelay.worst_window ~threshold:r.thresh d net in
-                ( (match r.analysis_mode with
-                  | Bounds_mode -> add_window launch { early = lo; late = hi }
-                  | Elmore_mode ->
-                      let tree = Netdelay.tree_of_net d net in
-                      let output = snd (List.hd (Rctree.Tree.outputs tree)) in
-                      let e = Rctree.Moments.elmore tree ~output in
-                      add_window launch { early = e; late = e }),
+                ( add_window launch (Hashtbl.find r.net_delays net.Design.net_name).noload,
                   None )
             | loads ->
                 let worst =
                   List.fold_left
                     (fun acc pin ->
-                      let w = add_window launch (net_window r d net pin) in
+                      let w = add_window launch (net_window r net pin) in
                       match acc with
                       | Some (_, best) when best.late >= w.late -> acc
                       | Some _ | None -> Some (pin, w))
@@ -175,8 +208,8 @@ let run ?(mode = Bounds_mode) ?(threshold = 0.5) ?(input_arrivals = []) d =
         (Design.primary_outputs d));
       Ok r
 
-let run_exn ?mode ?threshold ?input_arrivals d =
-  match run ?mode ?threshold ?input_arrivals d with
+let run_exn ?mode ?threshold ?input_arrivals ?pool d =
+  match run ?mode ?threshold ?input_arrivals ?pool d with
   | Ok r -> r
   | Error cycle ->
       invalid_arg ("Analysis.run_exn: combinational cycle through " ^ String.concat ", " cycle)

@@ -19,16 +19,27 @@ val run :
   ?mode:mode ->
   ?threshold:float ->
   ?input_arrivals:(string * float) list ->
+  ?pool:Parallel.Pool.t ->
   Design.t ->
   (t, string list) result
 (** Default mode is [Bounds_mode], threshold 0.5.  [input_arrivals]
     gives launch times for primary-input nets (default 0 for each);
     naming a non-primary or unknown net, or a negative time, raises
     [Invalid_argument].  [Error cycle] when the design has a
-    combinational loop. *)
+    combinational loop.
+
+    The per-net interconnect analyses — the expensive part of a run —
+    are independent and are fanned out through [pool] (default: the
+    shared {!Parallel.Pool.get}); results are identical to a serial
+    run. *)
 
 val run_exn :
-  ?mode:mode -> ?threshold:float -> ?input_arrivals:(string * float) list -> Design.t -> t
+  ?mode:mode ->
+  ?threshold:float ->
+  ?input_arrivals:(string * float) list ->
+  ?pool:Parallel.Pool.t ->
+  Design.t ->
+  t
 
 val mode : t -> mode
 

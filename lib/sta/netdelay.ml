@@ -84,6 +84,12 @@ let sink_delays ?(threshold = 0.5) d (net : Design.net) =
       })
     net.Design.loads
 
+let all_sink_delays ?pool ?threshold d =
+  Obs.Span.with_ ~name:"sta.netdelay_batch" @@ fun () ->
+  Parallel.Pool.map_list ?pool
+    (fun (net : Design.net) -> (net.Design.net_name, sink_delays ?threshold d net))
+    (Design.nets d)
+
 let worst_window ?(threshold = 0.5) d net =
   let tree = tree_of_net d net in
   let windows =

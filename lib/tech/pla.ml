@@ -60,8 +60,9 @@ let delay_bounds ?(threshold = 0.7) ?driver p params ~minterms =
 
 let paper_line ~minterms = Rctree.Expr.pla_line minterms
 
-let sweep ?threshold ?driver p params ~minterms =
-  List.map
+let sweep ?threshold ?driver ?pool p params ~minterms =
+  Obs.Span.with_ ~name:"tech.pla_sweep" @@ fun () ->
+  Parallel.Pool.map_list ?pool
     (fun n ->
       let lo, hi = delay_bounds ?threshold ?driver p params ~minterms:n in
       (n, lo, hi))

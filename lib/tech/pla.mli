@@ -51,8 +51,12 @@ val paper_line : minterms:int -> Rctree.Expr.t
 val sweep :
   ?threshold:float ->
   ?driver:Mosfet.driver ->
+  ?pool:Parallel.Pool.t ->
   Process.t ->
   params ->
   minterms:int list ->
   (int * float * float) list
-(** The Fig. 13 experiment: [(n, t_min, t_max)] per minterm count. *)
+(** The Fig. 13 experiment: [(n, t_min, t_max)] per minterm count.
+    Each count is analysed independently through [pool] (default: the
+    shared {!Parallel.Pool.get}); order and values match the serial
+    map. *)

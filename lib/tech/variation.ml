@@ -55,24 +55,35 @@ let spread_of_samples xs =
 (* Box-Muller *)
 let gaussian st = sqrt (-2. *. log (Random.State.float st 1. +. 1e-300)) *. cos (2. *. Float.pi *. Random.State.float st 1.)
 
-let monte_carlo ?(samples = 200) ?(seed = 42) ?(sigma_resistance = 0.08) ?(sigma_oxide = 0.04) p
-    ~build ~threshold =
+let monte_carlo ?(samples = 200) ?(seed = 42) ?(sigma_resistance = 0.08) ?(sigma_oxide = 0.04)
+    ?pool p ~build ~threshold =
   if samples <= 0 then invalid_arg "Variation.monte_carlo: samples must be positive";
   check_fraction "monte_carlo" sigma_resistance 0. 0.5;
   check_fraction "monte_carlo" sigma_oxide 0. 0.5;
+  Obs.Span.with_ ~name:"tech.monte_carlo" @@ fun () ->
+  (* all random draws happen serially up front, in a fixed order, so
+     the sample set is a function of [seed] alone — the pool only fans
+     out the (pure, expensive) per-sample analyses *)
   let st = Random.State.make [| seed |] in
-  let tmins = Array.make samples 0. and tmaxs = Array.make samples 0. in
+  let factors =
+    Array.init samples (fun _ -> (1., 1.))
+  in
   for i = 0 to samples - 1 do
     let factor sigma = Float.max 0.1 (1. +. (sigma *. gaussian st)) in
-    let perturbed =
-      perturb p ~resistance_factor:(factor sigma_resistance) ~oxide_factor:(factor sigma_oxide)
-    in
-    let tree, output = build perturbed in
-    let ts = Rctree.Moments.times tree ~output in
-    tmins.(i) <- Rctree.Bounds.t_min ts threshold;
-    tmaxs.(i) <- Rctree.Bounds.t_max ts threshold
+    let resistance_factor = factor sigma_resistance in
+    let oxide_factor = factor sigma_oxide in
+    factors.(i) <- (resistance_factor, oxide_factor)
   done;
-  (spread_of_samples tmins, spread_of_samples tmaxs)
+  let windows =
+    Parallel.Pool.map ?pool
+      (fun (resistance_factor, oxide_factor) ->
+        let perturbed = perturb p ~resistance_factor ~oxide_factor in
+        let tree, output = build perturbed in
+        let ts = Rctree.Moments.times tree ~output in
+        (Rctree.Bounds.t_min ts threshold, Rctree.Bounds.t_max ts threshold))
+      factors
+  in
+  (spread_of_samples (Array.map fst windows), spread_of_samples (Array.map snd windows))
 
 let pp_spread fmt s =
   Format.fprintf fmt "{mean=%s sd=%s p5=%s p50=%s p95=%s}" (Rctree.Units.format_si s.mean)

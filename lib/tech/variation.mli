@@ -32,6 +32,7 @@ val monte_carlo :
   ?seed:int ->
   ?sigma_resistance:float ->
   ?sigma_oxide:float ->
+  ?pool:Parallel.Pool.t ->
   Process.t ->
   build:(Process.t -> Rctree.Tree.t * Rctree.Tree.node_id) ->
   threshold:float ->
@@ -42,6 +43,11 @@ val monte_carlo :
     Negative-going samples are clamped to 10% of nominal to keep the
     parameters physical.  [build] reconstructs the network under each
     perturbed process.  Raises [Invalid_argument] on non-positive
-    samples or sigmas outside [0, 0.5]. *)
+    samples or sigmas outside [0, 0.5].
+
+    All random draws happen serially before any analysis, so results
+    are a function of [seed] alone: runs through any [pool] (default:
+    the shared {!Parallel.Pool.get}) are bit-identical to serial
+    runs. *)
 
 val pp_spread : Format.formatter -> spread -> unit

@@ -133,15 +133,37 @@ let tests =
             let code, out = run [ "sta"; net; "--hold"; "1e-12" ] in
             check_int "exit" 0 code;
             check_bool "hold" true (contains out "hold check")));
-    Alcotest.test_case "bad deck reports and fails" `Quick (fun () ->
+    Alcotest.test_case "bad deck reports and exits 2" `Quick (fun () ->
         let path = Filename.temp_file "bad" ".sp" in
         let oc = open_out path in
         output_string oc "R1 in a 1\nC1 a 0 1\n";
         close_out oc;
         let code, out = run [ "times"; path ] in
         Sys.remove path;
-        check_int "exit" 1 code;
+        check_int "exit" 2 code;
         check_bool "message" true (contains out "source"));
+    Alcotest.test_case "unparsable deck exits 2 with position" `Quick (fun () ->
+        let path = Filename.temp_file "bad" ".sp" in
+        let oc = open_out path in
+        output_string oc "* title\nVIN in 0\nR1 in a bogus\n.output a\n.end\n";
+        close_out oc;
+        let code, out = run [ "bounds"; path ] in
+        Sys.remove path;
+        check_int "exit" 2 code;
+        check_bool "line" true (contains out "line 3");
+        check_bool "column" true (contains out "column"));
+    Alcotest.test_case "jobs flag accepted, output unchanged" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code1, out1 = run [ "times"; deck; "--jobs"; "1" ] in
+            let code2, out2 = run [ "times"; deck; "--jobs"; "2" ] in
+            check_int "exit -j1" 0 code1;
+            check_int "exit -j2" 0 code2;
+            check_bool "same output" true (out1 = out2)));
+    Alcotest.test_case "jobs flag validated" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out = run [ "times"; deck; "--jobs"; "0" ] in
+            check_int "exit" 2 code;
+            check_bool "message" true (contains out "--jobs")));
     Alcotest.test_case "unknown subcommand fails" `Quick (fun () ->
         let code, _ = run [ "frobnicate" ] in
         check_bool "nonzero" true (code <> 0));

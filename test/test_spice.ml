@@ -210,6 +210,21 @@ let include_tests =
         match Spice.Parser.parse_string "VIN in 0\n.include x.sp\n" with
         | Ok _ -> Alcotest.fail "expected an error"
         | Error e -> check_int "line" 2 e.Spice.Parser.line);
+    Alcotest.test_case "bad value pinpoints line and column" `Quick (fun () ->
+        let e = parse_err "VIN in 0\nR1 in a bogus\n" in
+        check_int "line" 2 e.Spice.Parser.line;
+        check_int "column" 9 e.Spice.Parser.column;
+        check_bool "rendered" true
+          (e.Spice.Parser.message <> ""
+          && String.length (Spice.Parser.error_to_string e) > 0));
+    Alcotest.test_case "unknown card pinpoints the head token" `Quick (fun () ->
+        let e = parse_err "VIN in 0\nX1 a b 1\n" in
+        check_int "line" 2 e.Spice.Parser.line;
+        check_int "column" 1 e.Spice.Parser.column);
+    Alcotest.test_case "card-shape errors carry column 0 or the head" `Quick (fun () ->
+        let e = parse_err "VIN in 0\nR1 in a\n" in
+        check_int "line" 2 e.Spice.Parser.line;
+        check_int "column" 1 e.Spice.Parser.column);
   ]
 
 let printer_tests =
