@@ -4,10 +4,15 @@
    Fig. 13, Fig. 5) and the E8 scaling ablation.
 
    Run with: dune exec bench/main.exe
-   (set BENCH_SKIP_MICRO=1 to print only the reproduction tables) *)
+   (set BENCH_SKIP_MICRO=1 to print only the reproduction tables;
+   RCDELAY_BENCH_QUICK=1 is the CI smoke mode: skips the Bechamel
+   phase and shrinks every sized workload so the whole run finishes in
+   seconds while still writing the BENCH_*.json records) *)
 
 open Bechamel
 open Toolkit
+
+let quick = Sys.getenv_opt "RCDELAY_BENCH_QUICK" <> None
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                          *)
@@ -59,6 +64,19 @@ let sta_design () =
   d
 
 let the_design = sta_design ()
+
+(* PR3: a deep-but-balanced what-if workload — [leaves] URC pieces
+   (every fifth carrying a side branch) in balanced association, so
+   the incremental edit cost is the O(log n) depth *)
+let incr_base_expr ~leaves =
+  let piece i =
+    let r = 5. +. float_of_int (i mod 13) in
+    let c = 0.5 +. (float_of_int (i mod 7) *. 0.25) in
+    if i mod 5 = 4 then
+      Rctree.Expr.wc (Rctree.Expr.urc r c) (Rctree.Expr.wb (Rctree.Expr.urc (2. *. r) c))
+    else Rctree.Expr.urc r c
+  in
+  Rctree.Expr.balanced_cascade (List.init leaves piece)
 
 (* ------------------------------------------------------------------ *)
 (* micro-benchmarks (one per experiment)                              *)
@@ -142,6 +160,21 @@ let tests =
             let out = Rctree.Tree.output_named tree "out" in
             fun () ->
               ignore (Circuit.Large.step_response tree ~dt:1e-9 ~t_end:1e-9 ~outputs:[ out ])));
+      (* PR3: one what-if on a 10k-leaf balanced net, memoized vs from scratch *)
+      Test.make ~name:"pr3-incremental-edit-10k"
+        (Staged.stage
+           (let h = Rctree.Incremental.of_expr (incr_base_expr ~leaves:10_000) in
+            let path = Rctree.Incremental.leaf_path h 4321 in
+            fun () ->
+              ignore
+                (Rctree.Incremental.times
+                   (Rctree.Incremental.apply h
+                      (Rctree.Incremental.Replace_leaf
+                         { path; resistance = 7.; capacitance = 1. })))));
+      Test.make ~name:"pr3-scratch-eval-10k"
+        (Staged.stage
+           (let e = incr_base_expr ~leaves:10_000 in
+            fun () -> ignore (Rctree.Expr.times e)));
     ]
 
 let run_benchmarks () =
@@ -290,7 +323,7 @@ let e8_scaling_table () =
           Printf.sprintf "%.1f" (wall (fun () -> Rctree.Moments.times tree ~output:out));
           Printf.sprintf "%.1f" (wall (fun () -> Rctree.Moments.times_direct tree ~output:out));
         ])
-    [ 50; 100; 200; 400; 800 ];
+    (if quick then [ 50; 100 ] else [ 50; 100; 200; 400; 800 ]);
   Reprolib.Table.print t;
   print_newline ()
 
@@ -342,7 +375,7 @@ let scalability_table () =
           Printf.sprintf "%.1f" (wall dense);
           Printf.sprintf "%.1f" (wall sparse);
         ])
-    [ 100; 200; 400; 800 ];
+    (if quick then [ 100; 200 ] else [ 100; 200; 400; 800 ]);
   Reprolib.Table.print t;
   print_newline ()
 
@@ -387,9 +420,12 @@ let parallel_rows () =
             (domains, wall ~reps (fun () -> f pool))))
       [ 1; 2; 4 ]
   in
-  let tree = wide_tree ~branches:16 ~sections:640 ~mark_every:10 in
+  let tree =
+    if quick then wide_tree ~branches:4 ~sections:160 ~mark_every:10
+    else wide_tree ~branches:16 ~sections:640 ~mark_every:10
+  in
   let h = Rctree.Analysis.make tree in
-  let adder = Sta.Generate.ripple_carry_adder ~bits:64 () in
+  let adder = Sta.Generate.ripple_carry_adder ~bits:(if quick then 16 else 64) () in
   let p = Tech.Process.default_4um in
   let params = Tech.Pla.default_params p in
   let build process =
@@ -402,13 +438,15 @@ let parallel_rows () =
         (List.length (Rctree.Analysis.outputs h)),
       time_at_domains ~reps:3 (fun pool -> Rctree.Analysis.all_times ~pool h) );
     ( "sta.run_exn",
-      Printf.sprintf "64-bit adder, %d instances"
+      Printf.sprintf "%d-bit adder, %d instances"
+        (if quick then 16 else 64)
         (List.length (Sta.Design.instances adder)),
       time_at_domains ~reps:3 (fun pool -> Sta.Analysis.run_exn ~pool adder) );
-    ( "tech.monte_carlo",
-      "200 samples of pla-20",
-      time_at_domains ~reps:1 (fun pool ->
-          Tech.Variation.monte_carlo ~samples:200 ~pool p ~build ~threshold:0.7) );
+    (let samples = if quick then 40 else 200 in
+     ( "tech.monte_carlo",
+       Printf.sprintf "%d samples of pla-20" samples,
+       time_at_domains ~reps:1 (fun pool ->
+           Tech.Variation.monte_carlo ~samples ~pool p ~build ~threshold:0.7) ));
   ]
 
 let speedup_at domains times =
@@ -471,6 +509,106 @@ let write_bench_pr2_json rows =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* PR3: incremental what-if engine vs from-scratch re-evaluation      *)
+(* ------------------------------------------------------------------ *)
+
+(* serial sweep of random leaf replacements over a deep balanced net:
+   every edit answered once through the memoized handle (O(depth)
+   algebra ops) and once by editing the plain expression and
+   re-evaluating it whole (O(n)); results must agree bit-for-bit *)
+let incremental_stats () =
+  Gc.compact ();
+  let leaves = if quick then 1_000 else 10_000 in
+  let n_edits = if quick then 50 else 1_000 in
+  let base = incr_base_expr ~leaves in
+  let h = Rctree.Incremental.of_expr base in
+  let st = Random.State.make [| 0x5eed; 3 |] in
+  let edits =
+    Array.init n_edits (fun _ ->
+        let path = Rctree.Incremental.leaf_path h (Random.State.int st (Rctree.Incremental.leaf_count h)) in
+        let r, c = Rctree.Incremental.leaf_value h path in
+        Rctree.Incremental.Replace_leaf
+          {
+            path;
+            resistance = r *. (0.5 +. Random.State.float st 1.);
+            capacitance = c *. (0.5 +. Random.State.float st 1.);
+          })
+  in
+  let counter name = Option.value (List.assoc_opt name (Obs.counters ())) ~default:0 in
+  let wall out f =
+    let t0 = Unix.gettimeofday () in
+    out := Array.map f edits;
+    Unix.gettimeofday () -. t0
+  in
+  let reeval0 = counter "incr.nodes_reeval" in
+  let hits0 = counter "incr.cache_hits" in
+  let incr_out = ref [||] in
+  let t_incr =
+    wall incr_out (fun e -> Rctree.Incremental.times (Rctree.Incremental.apply h e))
+  in
+  let per_edit c0 name = float_of_int (counter name - c0) /. float_of_int n_edits in
+  let reeval_per_edit = per_edit reeval0 "incr.nodes_reeval" in
+  let hits_per_edit = per_edit hits0 "incr.cache_hits" in
+  let scratch_out = ref [||] in
+  let t_scratch =
+    wall scratch_out (fun e -> Rctree.Expr.times (Rctree.Incremental.edit_expr base e))
+  in
+  let identical = !incr_out = !scratch_out in
+  ( (leaves, Rctree.Incremental.size h, Rctree.Incremental.depth h),
+    n_edits, t_incr, t_scratch, reeval_per_edit, hits_per_edit, identical )
+
+let print_incremental ((pieces, size, depth), n_edits, t_incr, t_scratch, reeval, hits, identical)
+    =
+  print_endline "== PR3: incremental what-if engine vs from-scratch, serial ==";
+  Printf.printf "net: %d pieces, %d URC leaves, depth %d; %d random leaf replacements\n" pieces
+    size depth n_edits;
+  let t = Reprolib.Table.create ~columns:[ "method"; "total(ms)"; "per edit(us)" ] in
+  let row name s =
+    Reprolib.Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.1f" (s *. 1e3);
+        Printf.sprintf "%.1f" (s /. float_of_int n_edits *. 1e6);
+      ]
+  in
+  row "incremental (memoized spine)" t_incr;
+  row "from scratch (full re-eval)" t_scratch;
+  Reprolib.Table.print t;
+  Printf.printf "speedup: %.1fx   nodes re-evaluated/edit: %.1f   cache hits/edit: %.1f\n"
+    (t_scratch /. t_incr) reeval hits;
+  Printf.printf "results bit-identical: %b\n\n" identical
+
+let write_bench_pr3_json
+    ((pieces, size, depth), n_edits, t_incr, t_scratch, reeval, hits, identical) =
+  let path = Option.value (Sys.getenv_opt "BENCH_PR3_JSON") ~default:"BENCH_PR3.json" in
+  let open Obs.Json in
+  let doc =
+    Object
+      [
+        ( "tree",
+          Object
+            [
+              ("pieces", Number (float_of_int pieces));
+              ("leaves", Number (float_of_int size));
+              ("depth", Number (float_of_int depth));
+            ] );
+        ("edits", Number (float_of_int n_edits));
+        ("incremental_s", Number t_incr);
+        ("from_scratch_s", Number t_scratch);
+        ("speedup", Number (t_scratch /. t_incr));
+        ("nodes_reeval_per_edit", Number reeval);
+        ("cache_hits_per_edit", Number hits);
+        ("bit_identical", Bool identical);
+        ("quick", Bool quick);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* machine-readable record for diffing future PRs: per-experiment
    ns/op from the Bechamel phase plus the Obs counters and span
    timings accumulated over the reproduction tables *)
@@ -507,12 +645,12 @@ let () =
   (* micro-benchmarks run with metrics disabled so the measured ns/op
      reflect the production (disabled-flag) cost of the hot paths *)
   let bench_rows =
-    match Sys.getenv_opt "BENCH_SKIP_MICRO" with
-    | Some _ -> []
-    | None ->
-        let rows = benchmark_rows (run_benchmarks ()) in
-        print_benchmarks rows;
-        rows
+    if quick || Sys.getenv_opt "BENCH_SKIP_MICRO" <> None then []
+    else begin
+      let rows = benchmark_rows (run_benchmarks ()) in
+      print_benchmarks rows;
+      rows
+    end
   in
   Obs.set_enabled true;
   fig10_delay_table ();
@@ -525,5 +663,8 @@ let () =
   scalability_table ();
   let parallel = parallel_rows () in
   print_parallel parallel;
+  let incr = incremental_stats () in
+  print_incremental incr;
   write_bench_json bench_rows;
-  write_bench_pr2_json parallel
+  write_bench_pr2_json parallel;
+  write_bench_pr3_json incr

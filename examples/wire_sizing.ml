@@ -120,4 +120,23 @@ let () =
   print_newline ();
   let profile = String.concat " " (Array.to_list (Array.map (fun w -> Printf.sprintf "%.0f" (w /. micron)) widths)) in
   Printf.printf "final width profile (um, driver -> sink): %s\n" profile;
-  Printf.printf "note the taper: width goes where downstream capacitance is largest.\n"
+  Printf.printf "note the taper: width goes where downstream capacitance is largest.\n\n";
+  (* the same what-if question through the incremental engine: sweep
+     one segment's width over candidates without rebuilding the run —
+     each candidate is a single Replace_leaf edit, O(log n) algebra
+     ops on the memoized handle *)
+  print_endline "incremental cross-check: sweeping seg0 via Rctree.Incremental";
+  let load = 4. *. Tech.Mosfet.minimum_gate_load process in
+  let candidates = [| 4. *. micron; 8. *. micron; 12. *. micron; 16. *. micron |] in
+  let table2 = Reprolib.Table.create ~columns:[ "seg0 width(um)"; "t_min(ns)"; "t_max(ns)" ] in
+  Array.iter
+    (fun (w, lo, hi) ->
+      Reprolib.Table.add_row table2
+        [
+          Printf.sprintf "%.0f" (w /. micron);
+          Printf.sprintf "%.4f" (lo *. 1e9);
+          Printf.sprintf "%.4f" (hi *. 1e9);
+        ])
+    (Tech.Wire.sizing_sweep ~threshold process ~layer:Tech.Wire.Poly ~segment_length ~load
+       ~widths ~segment:0 ~candidates);
+  Reprolib.Table.print table2

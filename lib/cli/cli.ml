@@ -12,6 +12,7 @@
      moments   higher moments + two-pole model
      ac        frequency response
      sta       static timing analysis of a netlist file
+     sweep     incremental what-if queries against one deck
      stats     metrics self-test on built-in workloads
 
    Every subcommand also accepts --metrics[=FILE] (report to stderr,
@@ -250,6 +251,210 @@ let sta_cmd path period hold elmore =
           print_string (Sta.Report.timing_report ?period ?hold r);
           0)
 
+(* ---- sweep: incremental what-if queries ----
+
+   Edit grammar (one query per --edit / per line of --edits-file;
+   ';'-separated edits inside a query apply cumulatively):
+
+     replace <addr> <r> <c>     swap the URC leaf at <addr>
+     scale-r <addr> <factor>    scale every resistance under <addr>
+     scale-c <addr> <factor>    scale every capacitance under <addr>
+     buffer  <addr> <r> <c>     drive the subtree through a buffer
+     graft   <addr> <r> <c>     append a URC at the subtree's output
+     prune   <addr>             delete the subtree
+
+   <addr> is "root", "leaf:N" (N-th leaf left to right), or a path of
+   l/r/b steps from the root, e.g. "llrb".  Queries are independent:
+   each one edits the same base network. *)
+
+let ( let* ) = Result.bind
+
+let parse_addr h s =
+  let n = String.length s in
+  if n > 5 && String.sub s 0 5 = "leaf:" then
+    match int_of_string_opt (String.sub s 5 (n - 5)) with
+    | Some i when i >= 0 && i < Rctree.Incremental.leaf_count h ->
+        Ok (Rctree.Incremental.leaf_path h i)
+    | Some i ->
+        Error
+          (Printf.sprintf "leaf index %d out of range (network has %d leaves)" i
+             (Rctree.Incremental.leaf_count h))
+    | None -> Error (Printf.sprintf "bad leaf index in %S" s)
+  else Rctree.Incremental.path_of_string s
+
+let parse_edit h tokens =
+  let num what s =
+    match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "bad %s %S" what s)
+  in
+  match tokens with
+  | [ "replace"; a; r; c ] ->
+      let* path = parse_addr h a in
+      let* resistance = num "resistance" r in
+      let* capacitance = num "capacitance" c in
+      Ok (Rctree.Incremental.Replace_leaf { path; resistance; capacitance })
+  | [ "scale-r"; a; f ] ->
+      let* path = parse_addr h a in
+      let* factor = num "factor" f in
+      Ok (Rctree.Incremental.Scale_r { path; factor })
+  | [ "scale-c"; a; f ] ->
+      let* path = parse_addr h a in
+      let* factor = num "factor" f in
+      Ok (Rctree.Incremental.Scale_c { path; factor })
+  | [ "buffer"; a; r; c ] ->
+      let* path = parse_addr h a in
+      let* resistance = num "resistance" r in
+      let* capacitance = num "capacitance" c in
+      Ok (Rctree.Incremental.Insert_buffer { path; resistance; capacitance })
+  | [ "graft"; a; r; c ] ->
+      let* path = parse_addr h a in
+      let* r = num "resistance" r in
+      let* c = num "capacitance" c in
+      Ok (Rctree.Incremental.Graft { path; expr = Rctree.Expr.urc r c })
+  | [ "prune"; a ] ->
+      let* path = parse_addr h a in
+      Ok (Rctree.Incremental.Prune { path })
+  | [] -> Error "empty edit"
+  | cmd :: _ ->
+      Error
+        (Printf.sprintf
+           "unknown or malformed edit %S (expected replace/scale-r/scale-c/buffer/graft/prune)"
+           cmd)
+
+let parse_query h spec =
+  let pieces =
+    String.split_on_char ';' spec |> List.map String.trim |> List.filter (fun s -> s <> "")
+  in
+  if pieces = [] then Error "empty edit spec"
+  else
+    List.fold_left
+      (fun acc piece ->
+        let* edits = acc in
+        let tokens = String.split_on_char ' ' piece |> List.filter (fun s -> s <> "") in
+        let* e = parse_edit h tokens in
+        Ok (e :: edits))
+      (Ok []) pieces
+    |> Result.map List.rev
+
+let read_spec_file file =
+  try
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+        |> Result.ok)
+  with Sys_error msg -> Error msg
+
+let json_times spec (ts : Rctree.Times.t) threshold =
+  Obs.Json.Object
+    (List.concat
+       [
+         (match spec with None -> [] | Some s -> [ ("edits", Obs.Json.String s) ]);
+         [
+           ("t_p", Obs.Json.Number ts.Rctree.Times.t_p);
+           ("t_d", Obs.Json.Number ts.Rctree.Times.t_d);
+           ("t_r", Obs.Json.Number ts.Rctree.Times.t_r);
+           ("t_min", Obs.Json.Number (Rctree.Bounds.t_min ts threshold));
+           ("t_max", Obs.Json.Number (Rctree.Bounds.t_max ts threshold));
+         ];
+       ])
+
+let sweep_cmd path specs edits_file output_name threshold json =
+  with_tree path (fun tree ->
+      let bad msg =
+        prerr_endline ("sweep: " ^ msg);
+        2
+      in
+      let specs_r =
+        match edits_file with
+        | None -> Ok specs
+        | Some f -> Result.map (fun ls -> specs @ ls) (read_spec_file f)
+      in
+      match specs_r with
+      | Error msg -> bad msg
+      | Ok [] -> bad "no edits given (use --edit SPEC or --edits-file FILE)"
+      | Ok specs -> (
+          let outputs = Rctree.Tree.outputs tree in
+          let output_r =
+            match output_name with
+            | Some name -> (
+                match List.assoc_opt name outputs with
+                | Some id -> Ok (name, id)
+                | None -> Error (Printf.sprintf "no output named %S in %s" name path))
+            | None -> (
+                match outputs with
+                | (name, id) :: _ -> Ok (name, id)
+                | [] -> Error "deck has no outputs")
+          in
+          match output_r with
+          | Error msg -> bad msg
+          | Ok (out_label, out_id) -> (
+              let h = Rctree.Convert.incremental_of_tree tree ~output:out_id in
+              let parsed = List.map (fun s -> (s, parse_query h s)) specs in
+              match
+                List.find_map
+                  (function s, Error msg -> Some (s, msg) | _, Ok _ -> None)
+                  parsed
+              with
+              | Some (s, msg) -> bad (Printf.sprintf "%S: %s" s msg)
+              | None -> (
+                  let queries =
+                    List.filter_map (function s, Ok q -> Some (s, q) | _ -> None) parsed
+                  in
+                  try
+                    let results =
+                      Rctree.Incremental.sweep_list h (List.map snd queries)
+                    in
+                    let base = Rctree.Incremental.times h in
+                    if json then
+                      print_endline
+                        (Obs.Json.to_string
+                           (Obs.Json.Object
+                              [
+                                ("deck", Obs.Json.String path);
+                                ("output", Obs.Json.String out_label);
+                                ("threshold", Obs.Json.Number threshold);
+                                ("base", json_times None base threshold);
+                                ( "queries",
+                                  Obs.Json.Array
+                                    (List.map2
+                                       (fun (s, _) ts -> json_times (Some s) ts threshold)
+                                       queries results) );
+                              ]))
+                    else begin
+                      Printf.printf "output %s, threshold %g\n" out_label threshold;
+                      let table =
+                        Reprolib.Table.create ~columns:[ "edits"; "t_min"; "t_max"; "T_De" ]
+                      in
+                      let row spec ts =
+                        Reprolib.Table.add_row table
+                          [
+                            spec;
+                            fmt_s (Rctree.Bounds.t_min ts threshold);
+                            fmt_s (Rctree.Bounds.t_max ts threshold);
+                            fmt_s ts.Rctree.Times.t_d;
+                          ]
+                      in
+                      row "(base)" base;
+                      List.iter2 (fun (s, _) ts -> row s ts) queries results;
+                      Reprolib.Table.print table
+                    end;
+                    0
+                  with Invalid_argument msg ->
+                    (* a structurally invalid edit (path not in this
+                       network, pruning the root, ...) is bad input *)
+                    bad msg))))
+
 let fig10_cmd () =
   let ts = Rctree.Expr.times Rctree.Expr.fig7 in
   Printf.printf "network: %s\n" (Rctree.Expr.to_string Rctree.Expr.fig7);
@@ -286,6 +491,7 @@ let fig10_cmd () =
 let stats_cmd () =
   Obs.set_enabled true;
   let pool_ok = ref false in
+  let incr_ok = ref false in
   Obs.Span.with_ ~name:"cli.stats.workload" (fun () ->
       let expr = Rctree.Expr.fig7 in
       ignore (Rctree.Expr.times expr);
@@ -313,7 +519,27 @@ let stats_cmd () =
           let nodes = Array.init (Rctree.Tree.node_count chain) (fun i -> i) in
           let par = Rctree.Analysis.times_of_nodes ~pool h nodes in
           let ser = Array.map (fun id -> Rctree.Moments.times chain ~output:id) nodes in
-          pool_ok := par = ser));
+          pool_ok := par = ser);
+      (* the incremental engine: edit fig7, cross-check the memoized
+         result bit-for-bit against from-scratch evaluation of the
+         edited expression *)
+      let h = Rctree.Convert.incremental_of_tree tree ~output:(Rctree.Tree.output_named tree "out") in
+      let edit =
+        Rctree.Incremental.Replace_leaf
+          { path = Rctree.Incremental.leaf_path h 0; resistance = 12.; capacitance = 3. }
+      in
+      let swept =
+        Rctree.Incremental.sweep_list h
+          [ [ edit ]; [ Rctree.Incremental.Scale_r { path = []; factor = 1.5 } ] ]
+      in
+      let from_scratch =
+        Rctree.Expr.times
+          (Rctree.Incremental.edit_expr (Rctree.Incremental.to_expr h) edit)
+      in
+      incr_ok :=
+        (match swept with
+        | [ a; _ ] -> a = from_scratch && a = Rctree.Incremental.times (Rctree.Incremental.apply h edit)
+        | _ -> false));
   print_string (Obs.report ());
   let counter name = Option.value (List.assoc_opt name (Obs.counters ())) ~default:0 in
   let missing =
@@ -324,18 +550,22 @@ let stats_cmd () =
         "transient.simulations"; "large.timesteps"; "expr.evals"; "convert.tree_of_expr";
         "spice.decks_parsed"; "spice.elaborations"; "sta.instances_visited";
         "pool.jobs"; "pool.chunks"; "rctree.analysis_handles"; "rctree.analysis_batches";
+        "incr.handles"; "incr.edits"; "incr.nodes_reeval"; "incr.cache_hits"; "incr.sweeps";
+        "convert.incremental_of_tree";
       ]
   in
   let no_span = Obs.Span.calls "circuit.transient" = 0 || Obs.Span.calls "sta.report" = 0 in
-  if missing = [] && (not no_span) && !pool_ok then begin
+  if missing = [] && (not no_span) && !pool_ok && !incr_ok then begin
     print_endline "self-test: all instrumented layers reported";
     print_endline "self-test: pool results bit-identical to serial";
+    print_endline "self-test: incremental edits bit-identical to from-scratch";
     0
   end
   else begin
     List.iter (fun n -> prerr_endline ("self-test: no samples from " ^ n)) missing;
     if no_span then prerr_endline "self-test: expected spans missing";
     if not !pool_ok then prerr_endline "self-test: pool results differ from serial";
+    if not !incr_ok then prerr_endline "self-test: incremental results differ from from-scratch";
     1
   end
 
@@ -558,6 +788,43 @@ let cmd_adder =
       const (fun obs b p -> run_obs obs "adder" (fun () -> adder_cmd b p))
       $ obs_term $ bits_arg $ period_arg)
 
+let edit_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "edit" ] ~docv:"SPEC"
+        ~doc:
+          "A what-if query: one edit, or several separated by ';' applied cumulatively.  \
+           Edits are $(b,replace ADDR R C), $(b,scale-r ADDR F), $(b,scale-c ADDR F), \
+           $(b,buffer ADDR R C), $(b,graft ADDR R C), $(b,prune ADDR); ADDR is $(b,root), \
+           $(b,leaf:N), or a path of l/r/b steps.  Repeatable; queries are independent.")
+
+let edits_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "edits-file" ] ~docv:"FILE"
+        ~doc:"Read one query per line ('#' comments and blank lines skipped).")
+
+let output_name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"NAME"
+        ~doc:"Output node to analyse (default: the deck's first output).")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of a table.")
+
+let cmd_sweep =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Incremental what-if queries: delay windows of edited variants of one deck")
+    Term.(
+      const (fun obs path es f o v j ->
+          run_obs obs "sweep" (fun () -> sweep_cmd path es f o v j))
+      $ obs_term $ file_arg $ edit_arg $ edits_file_arg $ output_name_arg $ threshold_arg
+      $ json_flag)
+
 let cmd_stats =
   Cmd.v
     (Cmd.info "stats"
@@ -570,7 +837,7 @@ let main =
        ~doc:"Penfield-Rubinstein signal delay bounds for RC tree networks")
     [
       cmd_times; cmd_bounds; cmd_voltage; cmd_certify; cmd_simulate; cmd_pla; cmd_fig10;
-      cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder; cmd_stats;
+      cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder; cmd_sweep; cmd_stats;
     ]
 
 let run argv = Cmd.eval' ~argv main

@@ -1,5 +1,6 @@
 let m_to_tree = Obs.Counter.make "convert.tree_of_expr"
 let m_to_expr = Obs.Counter.make "convert.expr_of_tree"
+let m_to_incr = Obs.Counter.make "convert.incremental_of_tree"
 let m_tree_nodes = Obs.Histogram.make "convert.tree_nodes"
 
 let tree_of_expr ?(name = "expr") e =
@@ -48,3 +49,7 @@ let expr_of_tree t ~output =
   match cap_leaf (Tree.input t) (below (Tree.input t)) with
   | [] -> Expr.capacitor 0.
   | pieces -> Expr.cascade_all pieces
+
+let incremental_of_tree t ~output =
+  Obs.Counter.incr m_to_incr;
+  Incremental.of_expr (expr_of_tree t ~output)

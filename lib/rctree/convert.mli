@@ -17,3 +17,9 @@ val expr_of_tree : Tree.t -> output:Tree.node_id -> Expr.t
     becomes the cascade spine; node capacitances become [URC 0 C]
     leaves; subtrees hanging off the spine become [WB] side branches.
     Raises [Invalid_argument] on an unknown node. *)
+
+val incremental_of_tree : Tree.t -> output:Tree.node_id -> Incremental.t
+(** [Incremental.of_expr (expr_of_tree t ~output)]: a memoized what-if
+    handle for the given output of an explicit tree — the entry point
+    the [rcdelay sweep] subcommand uses on parsed decks.  Raises
+    [Invalid_argument] on an unknown node. *)

@@ -17,6 +17,21 @@ let cascade_all = function
   | [] -> invalid_arg "Expr.cascade_all: empty list"
   | e :: rest -> List.fold_left wc e rest
 
+(* same leaves, same left-to-right order, but associated as a balanced
+   tree — cascade is associative, and the incremental engine's edit
+   cost is the depth of the association *)
+let balanced_cascade = function
+  | [] -> invalid_arg "Expr.balanced_cascade: empty list"
+  | es ->
+      let arr = Array.of_list es in
+      let rec build lo hi =
+        if lo = hi then arr.(lo)
+        else
+          let mid = (lo + hi) / 2 in
+          wc (build lo mid) (build (mid + 1) hi)
+      in
+      build 0 (Array.length arr - 1)
+
 let m_evals = Obs.Counter.make "expr.evals"
 let m_ops = Obs.Counter.make "expr.algebra_ops"
 let m_size = Obs.Histogram.make "expr.size"
@@ -30,6 +45,11 @@ let rec size = function
   | Urc _ -> 1
   | Branch e -> size e
   | Cascade (a, b) -> size a + size b
+
+let rec depth = function
+  | Urc _ -> 1
+  | Branch e -> 1 + depth e
+  | Cascade (a, b) -> 1 + Int.max (depth a) (depth b)
 
 (* every leaf is one URC op and every interior node one WB/WC op, so
    the op count of an eval is [2 * size - 1] plus the branch nodes;

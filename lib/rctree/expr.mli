@@ -38,6 +38,15 @@ val cascade_all : t list -> t
 (** [cascade_all [e1; ...; en]] is [e1 WC ... WC en].
     Raises [Invalid_argument] on the empty list. *)
 
+val balanced_cascade : t list -> t
+(** Same network as {!cascade_all} (cascade is associative), but
+    associated as a balanced binary tree, so {!depth} is
+    O(log n) instead of O(n).  {!Incremental} edits cost one
+    re-evaluation per level, so prefer this association for
+    what-if workloads.  Numerically equal to {!cascade_all} up to
+    float rounding (the association changes summation order).
+    Raises [Invalid_argument] on the empty list. *)
+
 val eval : t -> Twoport.t
 (** Linear-time evaluation via the {!Twoport} algebra. *)
 
@@ -46,6 +55,9 @@ val times : t -> Times.t
 
 val size : t -> int
 (** Number of [Urc] leaves. *)
+
+val depth : t -> int
+(** Height of the expression tree (a single leaf has depth 1). *)
 
 val element_of_leaf : resistance:float -> capacitance:float -> Element.t
 

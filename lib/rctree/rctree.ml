@@ -7,6 +7,7 @@
     - {!Expr}, {!Twoport}: the paper's linear-time construction algebra
     - {!Path}, {!Moments}, {!Times}: characteristic times
     - {!Bounds}: the delay/voltage bounds and certification
+    - {!Incremental}: memoized what-if edits and batch sweeps
     - {!Lump}, {!Convert}, {!Validate}, {!Units}: supporting tools
 
     The convenience functions below cover the common "one network, one
@@ -25,6 +26,7 @@ module Excitation = Excitation
 module Higher_moments = Higher_moments
 module Sensitivity = Sensitivity
 module Awe = Awe
+module Incremental = Incremental
 module Convert = Convert
 module Lump = Lump
 module Validate = Validate

@@ -31,6 +31,23 @@ let cascade a b =
       a.t_r2_r22 +. b.t_r2_r22 +. (2. *. a.r22 *. b.t_d2) +. (a.r22 *. a.r22 *. b.c_total);
   }
 
+(* every component of the tuple is a sum of monomials with a fixed
+   (R-degree, C-degree): c_total (0,1), t_p (1,1), r22 (1,0),
+   t_d2 (1,1), t_r2_r22 (2,1) — check eqs. (19)-(28) term by term.  So
+   scaling every resistance by [rf] and every capacitance by [cf]
+   scales the tuple componentwise, exactly. *)
+let scale ~resistance_factor:rf ~capacitance_factor:cf a =
+  let ok f = Float.is_finite f && f >= 0. in
+  if not (ok rf && ok cf) then
+    invalid_arg "Twoport.scale: factors must be finite and non-negative";
+  {
+    c_total = a.c_total *. cf;
+    t_p = a.t_p *. rf *. cf;
+    r22 = a.r22 *. rf;
+    t_d2 = a.t_d2 *. rf *. cf;
+    t_r2_r22 = a.t_r2_r22 *. rf *. rf *. cf;
+  }
+
 let t_r2 a = if a.r22 = 0. then 0. else a.t_r2_r22 /. a.r22
 
 let times a = Times.make ~t_p:a.t_p ~t_d:a.t_d2 ~t_r:(t_r2 a)

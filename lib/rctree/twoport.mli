@@ -37,6 +37,18 @@ val cascade : t -> t -> t
     port 2; the new port 2 is [b]'s.  [a] is the side nearer the
     input. *)
 
+val scale : resistance_factor:float -> capacitance_factor:float -> t -> t
+(** The five-tuple of the same network with every resistance multiplied
+    by [resistance_factor] and every capacitance by
+    [capacitance_factor].  Exact by multilinearity: each component of
+    the tuple is homogeneous in (R, C) — [c_total] scales with [cf],
+    [t_p] and [t_d2] with [rf·cf], [r22] with [rf], [t_r2_r22] with
+    [rf²·cf] — so a global PVT-style perturbation is an O(1)
+    transformation of an already-evaluated tuple.  Agrees with
+    re-evaluating the scaled network up to float rounding (the
+    multiplications happen in a different order).  Raises
+    [Invalid_argument] on negative or non-finite factors. *)
+
 val times : t -> Times.t
 (** Characteristic times at port 2: [t_p], [t_d = T_D2] and
     [t_r = t_r2_r22 / r22] (0 when [r22 = 0]). *)

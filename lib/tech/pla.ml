@@ -60,10 +60,42 @@ let delay_bounds ?(threshold = 0.7) ?driver p params ~minterms =
 
 let paper_line ~minterms = Rctree.Expr.pla_line minterms
 
-let sweep ?threshold ?driver ?pool p params ~minterms =
+(* The sweep used to evaluate every count from scratch — O(Σ nᵢ) URC
+   ops.  A line for n+per minterms is the n-minterm line with one more
+   section grafted at the root, so the incremental engine re-evaluates
+   one cascade node per section: the whole sweep now costs O(max n)
+   ops total.  The grafts replay exactly the left-fold of [line_expr],
+   so every (n, t_min, t_max) is bit-identical to the from-scratch
+   result (regression-tested).  The [?pool] parameter is kept for
+   compatibility but no longer used: the serial incremental chain does
+   strictly less work than the old per-count fan-out. *)
+let sweep ?(threshold = 0.7) ?(driver = Mosfet.paper_superbuffer) ?pool:_ p params ~minterms =
   Obs.Span.with_ ~name:"tech.pla_sweep" @@ fun () ->
-  Parallel.Pool.map_list ?pool
+  if List.exists (fun n -> n < 0) minterms then
+    invalid_arg "Pla.sweep: negative minterm count";
+  if params.minterms_per_section <= 0 then
+    invalid_arg "Pla.sweep: minterms_per_section must be positive";
+  let per = params.minterms_per_section in
+  let sections_for n = if n <= 0 then 0 else (n + per - 1) / per in
+  let sec = section p params in
+  let start =
+    Rctree.Expr.wc
+      (Rctree.Expr.resistor driver.Mosfet.on_resistance)
+      (Rctree.Expr.capacitor driver.Mosfet.output_capacitance)
+  in
+  let times_at = Hashtbl.create 16 in
+  let h = ref (Rctree.Incremental.of_expr start) in
+  let built = ref 0 in
+  List.iter
+    (fun s ->
+      while !built < s do
+        h := Rctree.Incremental.apply !h (Rctree.Incremental.Graft { path = []; expr = sec });
+        incr built
+      done;
+      Hashtbl.replace times_at s (Rctree.Incremental.times !h))
+    (List.sort_uniq compare (List.map sections_for minterms));
+  List.map
     (fun n ->
-      let lo, hi = delay_bounds ?threshold ?driver p params ~minterms:n in
-      (n, lo, hi))
+      let ts = Hashtbl.find times_at (sections_for n) in
+      (n, Rctree.Bounds.t_min ts threshold, Rctree.Bounds.t_max ts threshold))
     minterms

@@ -57,6 +57,11 @@ val sweep :
   minterms:int list ->
   (int * float * float) list
 (** The Fig. 13 experiment: [(n, t_min, t_max)] per minterm count.
-    Each count is analysed independently through [pool] (default: the
-    shared {!Parallel.Pool.get}); order and values match the serial
-    map. *)
+    Implemented on {!Rctree.Incremental}: the line is grown once,
+    section by section (each count is the previous count plus a
+    [Graft] at the root), so the whole sweep costs O(max n) algebra
+    ops instead of O(Σ nᵢ).  Values are bit-identical to evaluating
+    {!delay_bounds} per count.  [pool] is accepted for compatibility
+    but unused — the incremental chain does strictly less work than
+    the old per-count fan-out.  Raises [Invalid_argument] on a
+    negative count or non-positive [minterms_per_section]. *)

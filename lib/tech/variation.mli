@@ -50,4 +50,34 @@ val monte_carlo :
     the shared {!Parallel.Pool.get}) are bit-identical to serial
     runs. *)
 
+val sample_factors :
+  samples:int ->
+  seed:int ->
+  sigma_resistance:float ->
+  sigma_oxide:float ->
+  (float * float) array
+(** The [(resistance_factor, oxide_factor)] draws behind
+    {!monte_carlo} and {!monte_carlo_expr}: Gaussian around 1, clamped
+    at 0.1, drawn serially in a fixed order so the array is a function
+    of [seed] alone.  Raises like {!monte_carlo}. *)
+
+val monte_carlo_expr :
+  ?samples:int ->
+  ?seed:int ->
+  ?sigma_resistance:float ->
+  ?sigma_oxide:float ->
+  ?pool:Parallel.Pool.t ->
+  Rctree.Expr.t ->
+  threshold:float ->
+  spread * spread
+(** Monte Carlo over a {e fixed topology}: the same draws as
+    {!monte_carlo} (identical [seed] ⇒ identical factor samples), but
+    each trial is an O(1) {!Rctree.Incremental.times_scaled} on a
+    shared memoized handle instead of a full rebuild — global R/C
+    scaling commutes with the five-tuple algebra.  Capacitance scales
+    as [1 / oxide_factor] (thinner oxide ⇒ more capacitance), matching
+    {!corners}.  Use this when the network shape does not depend on
+    the process; use {!monte_carlo} when [build] changes topology or
+    element mix per sample. *)
+
 val pp_spread : Format.formatter -> spread -> unit
