@@ -1,0 +1,123 @@
+type edit_spec =
+  | Replace of { leaf : int; r : float; c : float }
+  | Scale_r of { leaf : int; factor : float }
+  | Scale_c of { leaf : int; factor : float }
+  | Buffer of { leaf : int; r : float; c : float }
+  | Graft of { leaf : int; r : float; c : float }
+  | Prune of { leaf : int }
+
+type t = {
+  tree : Rctree.Tree.t;
+  output : Rctree.Tree.node_id;
+  edits : edit_spec list;
+  label : string;
+}
+
+let make ?(edits = []) ?(label = "") tree ~output =
+  if output < 0 || output >= Rctree.Tree.node_count tree then
+    invalid_arg "Check.Case.make: output is not a node of the tree";
+  { tree; output; edits; label }
+
+let output_name c = Rctree.Tree.node_name c.tree c.output
+let node_count c = Rctree.Tree.node_count c.tree
+
+let edit_to_string = function
+  | Replace { leaf; r; c } -> Printf.sprintf "replace %d %.17g %.17g" leaf r c
+  | Scale_r { leaf; factor } -> Printf.sprintf "scale-r %d %.17g" leaf factor
+  | Scale_c { leaf; factor } -> Printf.sprintf "scale-c %d %.17g" leaf factor
+  | Buffer { leaf; r; c } -> Printf.sprintf "buffer %d %.17g %.17g" leaf r c
+  | Graft { leaf; r; c } -> Printf.sprintf "graft %d %.17g %.17g" leaf r c
+  | Prune { leaf } -> Printf.sprintf "prune %d" leaf
+
+let edits_to_string edits = String.concat "; " (List.map edit_to_string edits)
+
+let ( let* ) = Result.bind
+
+let edit_of_tokens tokens =
+  let int_ what s =
+    match int_of_string_opt s with
+    | Some i when i >= 0 -> Ok i
+    | _ -> Error (Printf.sprintf "bad %s %S" what s)
+  in
+  let num what s =
+    match float_of_string_opt s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "bad %s %S" what s)
+  in
+  match tokens with
+  | [ "replace"; l; r; c ] ->
+      let* leaf = int_ "leaf" l in
+      let* r = num "resistance" r in
+      let* c = num "capacitance" c in
+      Ok (Replace { leaf; r; c })
+  | [ "scale-r"; l; f ] ->
+      let* leaf = int_ "leaf" l in
+      let* factor = num "factor" f in
+      Ok (Scale_r { leaf; factor })
+  | [ "scale-c"; l; f ] ->
+      let* leaf = int_ "leaf" l in
+      let* factor = num "factor" f in
+      Ok (Scale_c { leaf; factor })
+  | [ "buffer"; l; r; c ] ->
+      let* leaf = int_ "leaf" l in
+      let* r = num "resistance" r in
+      let* c = num "capacitance" c in
+      Ok (Buffer { leaf; r; c })
+  | [ "graft"; l; r; c ] ->
+      let* leaf = int_ "leaf" l in
+      let* r = num "resistance" r in
+      let* c = num "capacitance" c in
+      Ok (Graft { leaf; r; c })
+  | [ "prune"; l ] ->
+      let* leaf = int_ "leaf" l in
+      Ok (Prune { leaf })
+  | [] -> Error "empty edit"
+  | cmd :: _ -> Error (Printf.sprintf "unknown edit %S" cmd)
+
+let edits_of_string s =
+  let pieces =
+    String.split_on_char ';' s |> List.map String.trim |> List.filter (fun p -> p <> "")
+  in
+  List.fold_left
+    (fun acc piece ->
+      let* edits = acc in
+      let tokens = String.split_on_char ' ' piece |> List.filter (fun t -> t <> "") in
+      let* e = edit_of_tokens tokens in
+      Ok (e :: edits))
+    (Ok []) pieces
+  |> Result.map List.rev
+
+let to_deck_string ?property case =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "* rcdelay-check case\n";
+  (match property with
+  | Some p -> Buffer.add_string b (Printf.sprintf "* property: %s\n" p)
+  | None -> ());
+  if case.edits <> [] then
+    Buffer.add_string b (Printf.sprintf "* edits: %s\n" (edits_to_string case.edits));
+  Buffer.add_string b (Spice.Printer.to_string case.tree);
+  Buffer.contents b
+
+(* "* key: value" metadata comments; ordinary comments pass through
+   the SPICE parser untouched *)
+let metadata key text =
+  let prefix = Printf.sprintf "* %s:" key in
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if String.length line > String.length prefix && String.sub line 0 (String.length prefix) = prefix
+         then Some (String.trim (String.sub line (String.length prefix) (String.length line - String.length prefix)))
+         else None)
+
+let of_deck_string ?(label = "deck") text =
+  let* edits =
+    match metadata "edits" text with None -> Ok [] | Some s -> edits_of_string s
+  in
+  let property = metadata "property" text in
+  let* deck =
+    Result.map_error Spice.Parser.error_to_string (Spice.Parser.parse_string text)
+  in
+  let* tree = Result.map_error Spice.Elaborate.error_to_string (Spice.Elaborate.to_tree deck) in
+  match Rctree.Tree.outputs tree with
+  | [] -> Error "deck has no outputs"
+  | (_, output) :: _ -> Ok (make ~edits ~label tree ~output, property)

@@ -1,0 +1,45 @@
+(** The unit of differential verification: one RC tree, one output,
+    and (for the incremental property) an edit script.
+
+    A case serializes to a replayable SPICE deck: the tree through
+    {!Spice.Printer}, the edit script as a ["* edits: ..."] comment
+    the parser skips, so every persisted counterexample is an ordinary
+    deck any [rcdelay] subcommand can read.  Edit specs address leaves
+    by index {e modulo the current leaf count}, which keeps a script
+    meaningful while the shrinker removes nodes around it. *)
+
+type edit_spec =
+  | Replace of { leaf : int; r : float; c : float }
+  | Scale_r of { leaf : int; factor : float }
+  | Scale_c of { leaf : int; factor : float }
+  | Buffer of { leaf : int; r : float; c : float }
+  | Graft of { leaf : int; r : float; c : float }
+  | Prune of { leaf : int }
+
+type t = {
+  tree : Rctree.Tree.t;
+  output : Rctree.Tree.node_id;
+  edits : edit_spec list;
+  label : string;  (** provenance, e.g. ["seed=42 case=17"] or a corpus path *)
+}
+
+val make : ?edits:edit_spec list -> ?label:string -> Rctree.Tree.t -> output:Rctree.Tree.node_id -> t
+(** Raises [Invalid_argument] when [output] is not a node of the tree. *)
+
+val output_name : t -> string
+val node_count : t -> int
+
+val edits_to_string : edit_spec list -> string
+(** ["replace 3 2 0.5; prune 1"] — round-trips through
+    {!edits_of_string} (floats printed with 17 digits). *)
+
+val edits_of_string : string -> (edit_spec list, string) result
+
+val to_deck_string : ?property:string -> t -> string
+(** The replayable deck: metadata comments, then the tree via
+    {!Spice.Printer}. *)
+
+val of_deck_string : ?label:string -> string -> (t * string option, string) result
+(** Parse a deck produced by {!to_deck_string} (or any single-output
+    deck): returns the case and the ["* property:"] metadata when
+    present.  The case output is the deck's first [.output]. *)

@@ -1,0 +1,33 @@
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir ~property case =
+  let text = Case.to_deck_string ~property case in
+  let path = Filename.concat dir (Printf.sprintf "%s-%08x.sp" property (Hashtbl.hash text)) in
+  mkdir_p dir;
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+  path
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text -> (
+      match Case.of_deck_string ~label:path text with
+      | Error m -> Error m
+      | Ok (_, None) -> Error "corpus deck lacks a \"* property:\" comment"
+      | Ok (case, Some property) -> Ok (case, property))
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".sp")
+      |> List.sort String.compare
+      |> List.map (fun f ->
+             let path = Filename.concat dir f in
+             (path, load_file path))

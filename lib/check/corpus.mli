@@ -1,0 +1,21 @@
+(** The persisted counterexample corpus.
+
+    Every shrunk counterexample is written under a directory
+    (canonically [test/corpus/]) as an ordinary SPICE deck whose
+    metadata comments name the violated property and the edit script.
+    The tier-1 suite replays every deck deterministically, so a bug
+    found once by the fuzzer stays fixed. *)
+
+val save : dir:string -> property:string -> Case.t -> string
+(** Write the case (creating [dir] if needed) and return its path.
+    The filename is [<property>-<content hash>.sp], so re-finding the
+    same counterexample overwrites rather than accumulates. *)
+
+val load_file : string -> (Case.t * string, string) result
+(** The case and its property name.  A deck without a
+    ["* property:"] comment is an error — corpus entries must say
+    what they witness. *)
+
+val load_dir : string -> (string * (Case.t * string, string) result) list
+(** Every [*.sp] file in the directory in sorted order, so replays are
+    deterministic.  An unreadable directory is an empty corpus. *)

@@ -1,0 +1,61 @@
+type t = Drop_vmax_exp | Elmore_tmax | Inflate_tmin | Swap_tr_td
+
+let all = [ Drop_vmax_exp; Elmore_tmax; Inflate_tmin; Swap_tr_td ]
+
+let to_string = function
+  | Drop_vmax_exp -> "drop-vmax-exp"
+  | Elmore_tmax -> "elmore-tmax"
+  | Inflate_tmin -> "inflate-tmin"
+  | Swap_tr_td -> "swap-tr-td"
+
+let of_string s = List.find_opt (fun f -> to_string f = s) all
+
+let describe = function
+  | Drop_vmax_exp ->
+      "treat exp(-t/T_R) in eq. (9) as 1, so the upper voltage envelope saturates at 1 - T_D/T_P"
+  | Elmore_tmax -> "use the Elmore delay T_De as the upper delay bound instead of eqs. (16)-(17)"
+  | Inflate_tmin -> "multiply the lower delay bound of eqs. (13)-(15) by 1.25"
+  | Swap_tr_td -> "evaluate every bound with T_De and T_Re swapped"
+
+let state : t option Atomic.t = Atomic.make None
+let set f = Atomic.set state f
+let current () = Atomic.get state
+
+let with_fault f body =
+  let saved = current () in
+  set f;
+  Fun.protect ~finally:(fun () -> set saved) body
+
+(* Swap_tr_td corrupts the inputs of every bound; the other faults
+   corrupt one output *)
+let times (ts : Rctree.Times.t) =
+  match current () with
+  | Some Swap_tr_td -> { ts with Rctree.Times.t_d = ts.Rctree.Times.t_r; t_r = ts.Rctree.Times.t_d }
+  | _ -> ts
+
+let v_min ts t = Rctree.Bounds.v_min (times ts) t
+
+let v_max ts t =
+  let ts = times ts in
+  match current () with
+  | Some Drop_vmax_exp when not (Rctree.Times.is_degenerate ts) ->
+      let { Rctree.Times.t_p; t_d; _ } = ts in
+      Float.min ((t +. t_p -. t_d) /. t_p) (1. -. (t_d /. t_p))
+  | _ -> Rctree.Bounds.v_max ts t
+
+let t_min ts v =
+  let base = Rctree.Bounds.t_min (times ts) v in
+  match current () with Some Inflate_tmin -> 1.25 *. base | _ -> base
+
+let t_max ts v =
+  let ts = times ts in
+  match current () with
+  | Some Elmore_tmax -> ts.Rctree.Times.t_d
+  | _ -> Rctree.Bounds.t_max ts v
+
+(* the paper's OK function, but over the routed bounds so an armed
+   fault flows into the verdict *)
+let certify ts ~threshold ~deadline =
+  if t_max ts threshold <= deadline then Rctree.Bounds.Pass
+  else if deadline < t_min ts threshold then Rctree.Bounds.Fail
+  else Rctree.Bounds.Unknown

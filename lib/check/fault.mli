@@ -1,0 +1,52 @@
+(** Fault injection: deliberately corrupted bound evaluation.
+
+    The differential verifier is only trustworthy if it {e finds}
+    planted bugs, so every bound the property catalog evaluates is
+    routed through this module.  With no fault armed the functions
+    below are exactly {!Rctree.Bounds}; arming a fault corrupts one
+    bound in the {e unsound} direction (claiming more than the paper
+    proves), which a healthy catalog must detect, shrink and persist
+    within a small case budget.  [rcdelay selfcheck --inject FAULT]
+    exposes the same hook end to end.
+
+    The armed fault lives in an atomic so pool workers observe it;
+    like {!Obs.set_enabled} it is configuration — arm it from one
+    domain while no verification tasks are in flight. *)
+
+type t =
+  | Drop_vmax_exp
+      (** treat [exp(-t/T_R)] in eq. (9) as 1: the upper voltage
+          envelope saturates at [1 - T_D/T_P] and the exact response
+          must eventually cross it *)
+  | Elmore_tmax
+      (** use the Elmore delay [T_De] as the upper delay bound instead
+          of eqs. (16)-(17) — the classic unsound shortcut for high
+          thresholds *)
+  | Inflate_tmin  (** multiply the lower delay bound of eqs. (13)-(15) by 1.25 *)
+  | Swap_tr_td  (** evaluate every bound with [T_De] and [T_Re] swapped *)
+
+val all : t list
+
+val to_string : t -> string
+(** Stable CLI names: ["drop-vmax-exp"], ["elmore-tmax"],
+    ["inflate-tmin"], ["swap-tr-td"]. *)
+
+val of_string : string -> t option
+val describe : t -> string
+
+val set : t option -> unit
+(** Arm (or disarm, with [None]) a fault process-wide. *)
+
+val current : unit -> t option
+
+val with_fault : t option -> (unit -> 'a) -> 'a
+(** Run with the fault armed, restoring the previous state after. *)
+
+(** {2 Routed bounds} — identical to {!Rctree.Bounds} when no fault is
+    armed. *)
+
+val v_min : Rctree.Times.t -> float -> float
+val v_max : Rctree.Times.t -> float -> float
+val t_min : Rctree.Times.t -> float -> float
+val t_max : Rctree.Times.t -> float -> float
+val certify : Rctree.Times.t -> threshold:float -> deadline:float -> Rctree.Bounds.verdict

@@ -1,0 +1,26 @@
+(** The property catalog: every claim the fuzzer checks, one record
+    per claim.
+
+    A property receives an {!Oracle.t} and answers {!Pass} or {!Fail}
+    with a human-readable reason.  Bound evaluations go through
+    {!Fault}, so arming a fault makes the affected properties fail on
+    (almost) every case — which is how the harness itself is tested.
+    Simulation-backed properties compare the bounds computed from the
+    {e lumped} tree's own characteristic times against that same
+    tree's exact response, so the paper's theorems apply exactly and
+    no discretization error enters; they pass vacuously on degenerate
+    (zero Elmore delay) outputs. *)
+
+type result = Pass | Fail of string
+
+type t = {
+  name : string;  (** stable identifier, used in corpus filenames and [--props] *)
+  doc : string;
+  run : Oracle.t -> result;
+}
+
+val all : t list
+
+val names : string list
+
+val find : string -> t option

@@ -1,0 +1,120 @@
+type failure = {
+  property : string;
+  case_index : int;
+  case : Case.t;
+  shrunk : Case.t;
+  shrink_steps : int;
+  message : string;
+  file : string option;
+}
+
+type stat = { property : string; cases : int; failures : int; total_ms : float }
+
+type report = { cases : int; failures : failure list; stats : stat list; elapsed : float }
+
+let c_cases = Obs.Counter.make "check.cases"
+let c_failures = Obs.Counter.make "check.failures"
+let c_shrink = Obs.Counter.make "check.shrink_steps"
+
+let gen_case ~seed k =
+  Gen.case
+    ~label:(Printf.sprintf "seed=%d case=%d" seed k)
+    (Random.State.make [| 0x5eed; seed; k |])
+
+(* One worker task: generate case [k] and run every property on it,
+   sharing one lazy oracle so e.g. the eigendecomposition is computed
+   once per case. *)
+let check_case properties ~seed k =
+  let case = gen_case ~seed k in
+  let o = Oracle.make case in
+  let per_prop =
+    List.map
+      (fun (p : Prop.t) ->
+        let t0 = Unix.gettimeofday () in
+        let result =
+          try p.Prop.run o
+          with e -> Prop.Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))
+        in
+        (p.Prop.name, 1000. *. (Unix.gettimeofday () -. t0), result))
+      properties
+  in
+  (k, case, per_prop)
+
+let shrink_failure ~corpus_dir ~property ~case_index case message =
+  let prop = Option.get (Prop.find property) in
+  let fails c =
+    match prop.Prop.run (Oracle.make c) with Prop.Fail _ -> true | Prop.Pass -> false
+  in
+  let shrunk, shrink_steps = Shrink.minimize ~fails case in
+  Obs.Counter.add c_shrink shrink_steps;
+  (* re-derive the message so it describes the case we persist *)
+  let message =
+    match prop.Prop.run (Oracle.make shrunk) with Prop.Fail m -> m | Prop.Pass -> message
+  in
+  let file = Option.map (fun dir -> Corpus.save ~dir ~property shrunk) corpus_dir in
+  { property; case_index; case; shrunk; shrink_steps; message; file }
+
+let run ?pool ?(properties = Prop.all) ?fault ?corpus_dir ?(max_failures = 4) ?cases ?budget
+    ~seed () =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.get () in
+  let cases = match (cases, budget) with None, None -> Some 100 | _ -> cases in
+  let t_start = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> t_start +. b) budget in
+  Fault.with_fault fault @@ fun () ->
+  let stats = Hashtbl.create 16 in
+  let bump name ~failed ms =
+    let c, f, t = Option.value (Hashtbl.find_opt stats name) ~default:(0, 0, 0.) in
+    Hashtbl.replace stats name (c + 1, (f + if failed then 1 else 0), t +. ms)
+  in
+  let failures = ref [] in
+  let n_failures = ref 0 in
+  let total_cases = ref 0 in
+  let next_index = ref 0 in
+  let batch_size = max 8 (2 * Parallel.Pool.domains pool) in
+  let continue () =
+    !n_failures < max_failures
+    && (match cases with Some n -> !next_index < n | None -> true)
+    && match deadline with Some d -> Unix.gettimeofday () < d | None -> true
+  in
+  while continue () do
+    let n =
+      match cases with Some limit -> min batch_size (limit - !next_index) | None -> batch_size
+    in
+    let indices = Array.init n (fun i -> !next_index + i) in
+    next_index := !next_index + n;
+    let results = Parallel.Pool.map ~pool (check_case properties ~seed) indices in
+    Array.iter
+      (fun (k, case, per_prop) ->
+        incr total_cases;
+        Obs.Counter.incr c_cases;
+        List.iter
+          (fun (name, ms, result) ->
+            Obs.Histogram.observe (Obs.Histogram.make ("check.prop." ^ name)) ms;
+            match result with
+            | Prop.Pass -> bump name ~failed:false ms
+            | Prop.Fail message ->
+                bump name ~failed:true ms;
+                if !n_failures < max_failures then begin
+                  incr n_failures;
+                  Obs.Counter.incr c_failures;
+                  failures :=
+                    shrink_failure ~corpus_dir ~property:name ~case_index:k case message
+                    :: !failures
+                end)
+          per_prop)
+      results
+  done;
+  let stats =
+    List.filter_map
+      (fun (p : Prop.t) ->
+        Hashtbl.find_opt stats p.Prop.name
+        |> Option.map (fun (c, f, t) ->
+               { property = p.Prop.name; cases = c; failures = f; total_ms = t }))
+      properties
+  in
+  {
+    cases = !total_cases;
+    failures = List.rev !failures;
+    stats;
+    elapsed = Unix.gettimeofday () -. t_start;
+  }

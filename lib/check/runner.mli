@@ -1,0 +1,52 @@
+(** The fuzz driver: generate cases, run the catalog in parallel,
+    shrink and persist what fails.
+
+    Case [k] of seed [s] is generated from
+    [Random.State.make [|0x5eed; s; k|]], so any (seed, index) pair
+    reproduces its case exactly, independent of domain count, batch
+    size or which other cases ran — the property behind
+    [rcdelay selfcheck --seed].
+
+    Instrumented through {!Obs} (when metrics are enabled):
+    [check.cases], [check.failures], [check.shrink_steps] counters and
+    one [check.prop.<name>] latency histogram (milliseconds) per
+    property. *)
+
+type failure = {
+  property : string;
+  case_index : int;  (** generation index under the run's seed *)
+  case : Case.t;  (** as generated *)
+  shrunk : Case.t;  (** after {!Shrink.minimize} *)
+  shrink_steps : int;
+  message : string;  (** the property's reason on the shrunk case *)
+  file : string option;  (** corpus path when a corpus directory was given *)
+}
+
+type stat = { property : string; cases : int; failures : int; total_ms : float }
+
+type report = {
+  cases : int;  (** cases fully processed *)
+  failures : failure list;  (** in discovery order *)
+  stats : stat list;  (** in catalog order *)
+  elapsed : float;  (** seconds *)
+}
+
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?properties:Prop.t list ->
+  ?fault:Fault.t ->
+  ?corpus_dir:string ->
+  ?max_failures:int ->
+  ?cases:int ->
+  ?budget:float ->
+  seed:int ->
+  unit ->
+  report
+(** Runs until [cases] cases are done, or the [budget] (seconds of
+    wall clock) runs out, or [max_failures] (default 4) failures have
+    been collected — whichever comes first; with neither [cases] nor
+    [budget], 100 cases.  Cases are checked in parallel batches over
+    [pool] (default: the shared pool); shrinking runs serially in the
+    calling domain.  [fault] is armed for the whole run — including
+    shrinking — via {!Fault.with_fault}.  With [corpus_dir], every
+    shrunk counterexample is persisted through {!Corpus.save}. *)

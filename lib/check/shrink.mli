@@ -1,0 +1,22 @@
+(** Greedy shrinking of counterexamples.
+
+    Structural candidates first (drop a subtree, contract an edge,
+    collapse a distributed line to a resistor), then value
+    simplification (snap element values to 1 or 0), then edit-script
+    trimming.  {!minimize} walks candidates first-improvement style:
+    whenever a candidate still fails the property it becomes the new
+    case and the walk restarts, until no candidate fails or the
+    evaluation budget is spent. *)
+
+val candidates : Case.t -> Case.t list
+(** Strictly "smaller" variants, most aggressive first.  Every
+    candidate keeps the output node and at least one non-input node,
+    and never introduces a zero-resistance resistor edge. *)
+
+val minimize :
+  ?budget:int -> fails:(Case.t -> bool) -> Case.t -> Case.t * int
+(** [minimize ~fails case] assumes [fails case = true] and greedily
+    descends to a local minimum, spending at most [budget] (default
+    400) evaluations of [fails].  An evaluation that raises counts as
+    failing — crashes shrink too.  Returns the smallest failing case
+    found and the number of successful shrink steps. *)

@@ -831,13 +831,148 @@ let cmd_stats =
        ~doc:"Metrics self-test: run built-in workloads and report every instrumented layer")
     Term.(const (fun obs () -> run_obs obs "stats" stats_cmd) $ obs_term $ const ())
 
+(* selfcheck: the differential fuzzing harness of lib/check *)
+
+let selfcheck_cmd budget cases seed props inject corpus_dir =
+  let invalid msg =
+    prerr_endline ("rcdelay: selfcheck: " ^ msg);
+    2
+  in
+  let props_result =
+    List.fold_left
+      (fun acc name ->
+        match (acc, Check.Prop.find name) with
+        | (Error _ as e), _ -> e
+        | Ok _, None ->
+            Error
+              (Printf.sprintf "unknown property %s (known: %s)" name
+                 (String.concat ", " Check.Prop.names))
+        | Ok ps, Some p -> Ok (p :: ps))
+      (Ok []) props
+  in
+  let fault_result =
+    match inject with
+    | None -> Ok None
+    | Some name -> (
+        match Check.Fault.of_string name with
+        | Some f -> Ok (Some f)
+        | None ->
+            Error
+              (Printf.sprintf "unknown fault %s (known: %s)" name
+                 (String.concat ", " (List.map Check.Fault.to_string Check.Fault.all))))
+  in
+  match (props_result, fault_result) with
+  | Error m, _ | _, Error m -> invalid m
+  | Ok _, _ when (match budget with Some b -> b <= 0. | None -> false) ->
+      invalid "--budget must be positive"
+  | Ok _, _ when match cases with Some n -> n < 1 | None -> false ->
+      invalid "--cases must be >= 1"
+  | Ok rev_props, Ok fault ->
+      let properties = match rev_props with [] -> Check.Prop.all | ps -> List.rev ps in
+      let budget = if budget = None && cases = None then Some 10. else budget in
+      (match fault with
+      | Some f ->
+          Printf.printf "injecting fault %s: %s\n" (Check.Fault.to_string f)
+            (Check.Fault.describe f)
+      | None -> ());
+      let report = Check.Runner.run ~properties ?fault ?corpus_dir ?cases ?budget ~seed () in
+      let table = Reprolib.Table.create ~columns:[ "property"; "cases"; "fail"; "mean ms" ] in
+      List.iter
+        (fun (s : Check.Runner.stat) ->
+          Reprolib.Table.add_row table
+            [
+              s.Check.Runner.property;
+              string_of_int s.Check.Runner.cases;
+              string_of_int s.Check.Runner.failures;
+              Printf.sprintf "%.2f" (s.Check.Runner.total_ms /. float_of_int (max 1 s.Check.Runner.cases));
+            ])
+        report.Check.Runner.stats;
+      Reprolib.Table.print table;
+      List.iter
+        (fun (f : Check.Runner.failure) ->
+          Printf.printf "\ncounterexample: property %s, case %d, shrunk %d -> %d nodes in %d steps\n"
+            f.Check.Runner.property f.Check.Runner.case_index
+            (Check.Case.node_count f.Check.Runner.case)
+            (Check.Case.node_count f.Check.Runner.shrunk)
+            f.Check.Runner.shrink_steps;
+          Printf.printf "  %s\n" f.Check.Runner.message;
+          (match f.Check.Runner.file with
+          | Some path -> Printf.printf "  persisted: %s\n" path
+          | None -> ());
+          String.split_on_char '\n' (Check.Case.to_deck_string f.Check.Runner.shrunk)
+          |> List.iter (fun line -> if line <> "" then Printf.printf "    %s\n" line))
+        report.Check.Runner.failures;
+      let n_failures = List.length report.Check.Runner.failures in
+      Printf.printf "\nselfcheck: %d cases, %d failures (seed %d, %.1f s)\n"
+        report.Check.Runner.cases n_failures seed report.Check.Runner.elapsed;
+      if n_failures = 0 then 0 else 1
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"SECS"
+        ~doc:
+          "Keep drawing fresh cases until $(docv) seconds of wall clock have elapsed (default \
+           10 when $(b,--cases) is not given).")
+
+let cases_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cases" ] ~docv:"N"
+        ~doc:"Check exactly $(docv) cases instead of a time budget (deterministic count).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Fuzzing seed.  Case $(i,k) depends only on the seed and $(i,k), so any failure \
+           reproduces at any $(b,--jobs) setting.")
+
+let props_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "props" ] ~docv:"NAME,..."
+        ~doc:"Restrict to these catalog properties (default: all).")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"FAULT"
+        ~doc:
+          "Deliberately corrupt one bound to watch the harness catch, shrink and persist a \
+           counterexample: $(b,drop-vmax-exp), $(b,elmore-tmax), $(b,inflate-tmin) or \
+           $(b,swap-tr-td).")
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Persist every shrunk counterexample as a replayable deck under $(docv).")
+
+let cmd_selfcheck =
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:
+         "Differential fuzzing: random RC trees checked against independent exact-simulation \
+          oracles, with shrinking and a counterexample corpus")
+    Term.(
+      const (fun obs b c s p i d ->
+          run_obs obs "selfcheck" (fun () -> selfcheck_cmd b c s p i d))
+      $ obs_term $ budget_arg $ cases_arg $ seed_arg $ props_arg $ inject_arg $ corpus_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rcdelay" ~version:"1.0.0"
        ~doc:"Penfield-Rubinstein signal delay bounds for RC tree networks")
     [
       cmd_times; cmd_bounds; cmd_voltage; cmd_certify; cmd_simulate; cmd_pla; cmd_fig10;
-      cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder; cmd_sweep; cmd_stats;
+      cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder; cmd_sweep; cmd_stats; cmd_selfcheck;
     ]
 
 let run argv = Cmd.eval' ~argv main

@@ -1,0 +1,54 @@
+* rcdelay-check case
+* property: crossing
+* stress: deep chain of 24 equal RC sections (worst case for bound tightness)
+Vin in 0
+Rr1 in n1 1
+Cc1 n1 0 1
+Rr2 n1 n2 1
+Cc2 n2 0 1
+Rr3 n2 n3 1
+Cc3 n3 0 1
+Rr4 n3 n4 1
+Cc4 n4 0 1
+Rr5 n4 n5 1
+Cc5 n5 0 1
+Rr6 n5 n6 1
+Cc6 n6 0 1
+Rr7 n6 n7 1
+Cc7 n7 0 1
+Rr8 n7 n8 1
+Cc8 n8 0 1
+Rr9 n8 n9 1
+Cc9 n9 0 1
+Rr10 n9 n10 1
+Cc10 n10 0 1
+Rr11 n10 n11 1
+Cc11 n11 0 1
+Rr12 n11 n12 1
+Cc12 n12 0 1
+Rr13 n12 n13 1
+Cc13 n13 0 1
+Rr14 n13 n14 1
+Cc14 n14 0 1
+Rr15 n14 n15 1
+Cc15 n15 0 1
+Rr16 n15 n16 1
+Cc16 n16 0 1
+Rr17 n16 n17 1
+Cc17 n17 0 1
+Rr18 n17 n18 1
+Cc18 n18 0 1
+Rr19 n18 n19 1
+Cc19 n19 0 1
+Rr20 n19 n20 1
+Cc20 n20 0 1
+Rr21 n20 n21 1
+Cc21 n21 0 1
+Rr22 n21 n22 1
+Cc22 n22 0 1
+Rr23 n22 n23 1
+Cc23 n23 0 1
+Rr24 n23 n24 1
+Cc24 n24 0 1
+.output n24
+.end

@@ -1,0 +1,32 @@
+* rcdelay-check case
+* property: envelope
+* stress: star fanout - 12 capacitive spokes loading one hub
+Vin in 0
+Rhub in hub 2
+Chub hub 0 0.5
+Rs1 hub s1 1
+Cs1 s1 0 2
+Rs2 hub s2 1
+Cs2 s2 0 2
+Rs3 hub s3 1
+Cs3 s3 0 2
+Rs4 hub s4 1
+Cs4 s4 0 2
+Rs5 hub s5 1
+Cs5 s5 0 2
+Rs6 hub s6 1
+Cs6 s6 0 2
+Rs7 hub s7 1
+Cs7 s7 0 2
+Rs8 hub s8 1
+Cs8 s8 0 2
+Rs9 hub s9 1
+Cs9 s9 0 2
+Rs10 hub s10 1
+Cs10 s10 0 2
+Rs11 hub s11 1
+Cs11 s11 0 2
+Rs12 hub s12 1
+Cs12 s12 0 2
+.output s1
+.end

@@ -1,0 +1,10 @@
+* rcdelay-check case
+* property: moments-agree
+* stress: distributed lines, one with capacitance near the ghost-cap floor
+Vin in 0
+Uu1 in mid 10 1e-9
+Rr1 mid tap 1
+Cc1 tap 0 1
+Uu2 tap far 3 0.5
+.output far
+.end

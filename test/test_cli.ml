@@ -167,6 +167,49 @@ let tests =
     Alcotest.test_case "unknown subcommand fails" `Quick (fun () ->
         let code, _ = run [ "frobnicate" ] in
         check_bool "nonzero" true (code <> 0));
+    Alcotest.test_case "selfcheck: clean run exits 0" `Quick (fun () ->
+        let code, out = run [ "selfcheck"; "--cases"; "15"; "--seed"; "42" ] in
+        check_int "exit" 0 code;
+        check_bool "summary" true (contains out "selfcheck: 15 cases, 0 failures (seed 42"));
+    Alcotest.test_case "selfcheck: seed reproduces the reported case count" `Quick (fun () ->
+        let _, out1 = run [ "selfcheck"; "--cases"; "25"; "--seed"; "7" ] in
+        let _, out2 = run [ "selfcheck"; "--cases"; "25"; "--seed"; "7" ] in
+        let summary = "selfcheck: 25 cases, 0 failures (seed 7" in
+        check_bool "first" true (contains out1 summary);
+        check_bool "second" true (contains out2 summary));
+    Alcotest.test_case "selfcheck: property filter narrows the table" `Quick (fun () ->
+        let code, out = run [ "selfcheck"; "--cases"; "10"; "--props"; "envelope,crossing" ] in
+        check_int "exit" 0 code;
+        check_bool "selected" true (contains out "envelope");
+        check_bool "not selected" false (contains out "moments-agree"));
+    Alcotest.test_case "selfcheck: injected fault exits 1 and persists a deck" `Quick (fun () ->
+        let dir = Filename.temp_dir "rcdelay-cli-corpus" "" in
+        let code, out =
+          run
+            [
+              "selfcheck"; "--cases"; "40"; "--seed"; "11"; "--inject"; "drop-vmax-exp";
+              "--corpus"; dir;
+            ]
+        in
+        check_int "exit" 1 code;
+        check_bool "counterexample reported" true (contains out "counterexample");
+        check_bool "persisted path printed" true (contains out "persisted:");
+        let decks =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".sp")
+        in
+        check_bool "deck on disk" true (decks <> []));
+    Alcotest.test_case "selfcheck: bad arguments exit 2" `Quick (fun () ->
+        List.iter
+          (fun args ->
+            let code, _ = run ("selfcheck" :: args) in
+            check_int (String.concat " " args) 2 code)
+          [
+            [ "--budget=-3" ];
+            [ "--cases"; "0" ];
+            [ "--inject"; "bogus" ];
+            [ "--props"; "envelope,bogus" ];
+          ]);
   ]
 
 let () = Alcotest.run "cli" [ ("rcdelay", tests) ]

@@ -13,6 +13,7 @@
    tolerance is half a unit in the paper's last printed digit. *)
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 let check_close ?(eps = 1e-9) msg a b = Alcotest.(check (float eps)) msg a b
 
 let fig7_times = Rctree.Expr.times Rctree.Expr.fig7
@@ -77,8 +78,47 @@ let fig10_tests =
         check_close ~eps:0.05 "tmax" 314.15 hi);
   ]
 
+(* Golden regression for the Fig. 11 picture: (t, VMIN, exact, VMAX)
+   on the Fig. 7 network, the exact column from the 64-segment
+   eigendecomposition.  Values are frozen outputs of this code; the
+   relative tolerance is tagged per column — 1e-9 on the closed-form
+   bounds, 1e-4 on the simulated column to absorb platform FP variance
+   while still catching any real change in the algebra. *)
+let fig11_golden =
+  [
+    (50., 0.057550844, 0.125606623, 0.252983294);
+    (100., 0.166442019, 0.243553694, 0.357139231);
+    (200., 0.343423129, 0.427195616, 0.522974884);
+    (300., 0.482827593, 0.564617104, 0.646030724);
+    (400., 0.592633688, 0.668876162, 0.737342450);
+    (600., 0.747253796, 0.808436234, 0.855376612);
+    (1000., 0.902706527, 0.935882640, 0.956153410);
+  ]
+
+let check_rel ?(rtol = 1e-4) msg expected actual =
+  if Float.abs (actual -. expected) > rtol *. Float.max 1e-30 (Float.abs expected) then
+    Alcotest.failf "%s: expected %.9g, got %.9g (rtol %g)" msg expected actual rtol
+
 let fig11_tests =
   [
+    Alcotest.test_case "golden exact-vs-bounds curve" `Quick (fun () ->
+        let tree = Rctree.Convert.tree_of_expr Rctree.Expr.fig7 in
+        let out = Rctree.Tree.output_named tree "out" in
+        let times = Array.of_list (List.map (fun (t, _, _, _) -> t) fig11_golden) in
+        let exact = Circuit.Waveform.values (Circuit.Measure.exact_response tree ~output:out ~times) in
+        List.iteri
+          (fun i (t, vmin, v, vmax) ->
+            check_rel ~rtol:1e-6 (Printf.sprintf "VMIN(%g)" t) vmin (Rctree.Bounds.v_min fig7_times t);
+            check_rel ~rtol:1e-6 (Printf.sprintf "VMAX(%g)" t) vmax (Rctree.Bounds.v_max fig7_times t);
+            check_rel (Printf.sprintf "exact(%g)" t) v exact.(i))
+          fig11_golden);
+    Alcotest.test_case "golden exact threshold delays" `Quick (fun () ->
+        let tree = Rctree.Convert.tree_of_expr Rctree.Expr.fig7 in
+        let out = Rctree.Tree.output_named tree "out" in
+        check_rel "d50" 249.499091
+          (Circuit.Measure.exact_delay tree ~output:out ~threshold:0.5);
+        check_rel "d90" 837.568589
+          (Circuit.Measure.exact_delay tree ~output:out ~threshold:0.9));
     Alcotest.test_case "exact response lies between the bounds" `Quick (fun () ->
         let tree = Rctree.Convert.tree_of_expr Rctree.Expr.fig7 in
         let out = Rctree.Tree.output_named tree "out" in
@@ -97,10 +137,30 @@ let fig11_tests =
         check_close ~eps:0.01 "converged" d64 d32);
   ]
 
+(* Golden regression for the Fig. 13 sweep: (minterms, t_min, t_max)
+   in seconds at the paper's 0.7 threshold, geometry-derived process.
+   Frozen outputs of this code; rtol 1e-4. *)
+let fig13_golden =
+  [
+    (2, 2.56405e-11, 4.01292e-11);
+    (10, 1.05687e-10, 1.98173e-10);
+    (20, 3.00868e-10, 5.68993e-10);
+    (40, 9.98867e-10, 1.89603e-09);
+    (100, 5.5443e-09, 1.05683e-08);
+  ]
+
 let fig13_tests =
   let process = Tech.Process.default_4um in
   let params = Tech.Pla.default_params process in
   [
+    Alcotest.test_case "golden PLA sweep" `Quick (fun () ->
+        let got = Tech.Pla.sweep process params ~minterms:(List.map (fun (n, _, _) -> n) fig13_golden) in
+        List.iter2
+          (fun (n, lo, hi) (n', lo', hi') ->
+            check_int (Printf.sprintf "minterms %d" n) n n';
+            check_rel (Printf.sprintf "t_min(%d)" n) lo lo';
+            check_rel (Printf.sprintf "t_max(%d)" n) hi hi')
+          fig13_golden got);
     Alcotest.test_case "worst case at 100 minterms is ~10 ns" `Quick (fun () ->
         let _, hi = Tech.Pla.delay_bounds process params ~minterms:100 in
         check_bool "order of 10ns" true (hi > 8e-9 && hi < 12e-9));

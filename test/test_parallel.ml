@@ -212,29 +212,9 @@ let handle_tests =
               batch));
   ]
 
-(* --- random trees (qcheck) ------------------------------------------- *)
+(* --- random trees (qcheck, shared generators from Check.Gen) --------- *)
 
-let gen_tree =
-  QCheck.Gen.(
-    let* n = int_range 1 12 in
-    let* parents = array_size (return n) (int_range 0 1000) in
-    let* resistances = array_size (return n) (oneofl [ 0.2; 1.; 3.; 10.; 47. ]) in
-    let* caps = array_size (return n) (oneofl [ 0.; 0.5; 1.; 4.; 9. ]) in
-    let* marked = int_range 1 n in
-    let b = Rctree.Tree.Builder.create ~name:"random" () in
-    let nodes = Array.make (n + 1) (Rctree.Tree.Builder.input b) in
-    for i = 0 to n - 1 do
-      let parent = nodes.(parents.(i) mod (i + 1)) in
-      let node = Rctree.Tree.Builder.add_resistor b ~parent resistances.(i) in
-      Rctree.Tree.Builder.add_capacitance b node caps.(i);
-      nodes.(i + 1) <- node
-    done;
-    for k = 1 to marked do
-      Rctree.Tree.Builder.mark_output b ~label:(Printf.sprintf "o%d" k) nodes.(k)
-    done;
-    return (Rctree.Tree.Builder.finish b))
-
-let arb_tree = QCheck.make gen_tree ~print:(Format.asprintf "%a" Rctree.Tree.pp)
+let arb_tree = Check.Gen.arb_tree
 
 let random_tree_props =
   [

@@ -10,63 +10,12 @@
    - bound functions are well-formed (ordered, monotone, in range);
    - SPICE printing round-trips.  *)
 
-let rng_values = [ 0.1; 0.5; 1.; 2.; 5.; 10.; 100. ]
+(* Generators live in Check.Gen, shared with the fuzz driver
+   (rcdelay selfcheck) and test_parallel.  arb_sim_case prints as a
+   replayable SPICE deck and shrinks through Check.Shrink. *)
 
-(* --- random tree expressions ------------------------------------------ *)
-
-let gen_leaf =
-  QCheck.Gen.(
-    let* r = oneofl (0. :: rng_values) in
-    let* c = oneofl (0. :: rng_values) in
-    return (Rctree.Expr.urc r c))
-
-let gen_expr =
-  QCheck.Gen.(
-    sized_size (int_range 1 25) (fix (fun self n ->
-        if n <= 1 then gen_leaf
-        else
-          frequency
-            [
-              (3, let* k = int_range 1 (n - 1) in
-                  let* a = self k in
-                  let* b = self (n - k) in
-                  return (Rctree.Expr.wc a b));
-              (1, let* sub = self (n - 1) in
-                  let* tail = gen_leaf in
-                  return (Rctree.Expr.wc (Rctree.Expr.wb sub) tail));
-              (1, gen_leaf);
-            ])))
-
-let arb_expr = QCheck.make gen_expr ~print:Rctree.Expr.to_string
-
-(* --- random lumped trees (positive resistances, for simulation) ------- *)
-
-type sim_case = { tree : Rctree.Tree.t; output : Rctree.Tree.node_id }
-
-let gen_sim_case =
-  QCheck.Gen.(
-    let* n = int_range 1 8 in
-    let* parents = array_size (return n) (int_range 0 1000) in
-    let* resistances = array_size (return n) (oneofl [ 0.2; 1.; 3.; 10. ]) in
-    let* caps = array_size (return n) (oneofl [ 0.; 0.5; 1.; 4. ]) in
-    let b = Rctree.Tree.Builder.create ~name:"random" () in
-    let nodes = Array.make (n + 1) (Rctree.Tree.Builder.input b) in
-    for i = 0 to n - 1 do
-      let parent = nodes.(parents.(i) mod (i + 1)) in
-      let node = Rctree.Tree.Builder.add_resistor b ~parent resistances.(i) in
-      Rctree.Tree.Builder.add_capacitance b node caps.(i);
-      nodes.(i + 1) <- node
-    done;
-    let* output_pick = int_range 1 n in
-    let output = nodes.(output_pick) in
-    (* guarantee transient activity at the output *)
-    Rctree.Tree.Builder.add_capacitance b output 1.;
-    Rctree.Tree.Builder.mark_output b ~label:"out" output;
-    return { tree = Rctree.Tree.Builder.finish b; output })
-
-let arb_sim_case =
-  QCheck.make gen_sim_case ~print:(fun { tree; output } ->
-      Format.asprintf "%a output=%d" Rctree.Tree.pp tree output)
+let arb_expr = Check.Gen.arb_expr
+let arb_sim_case = Check.Gen.arb_sim_case
 
 let close ?(rtol = 1e-9) a b = Numeric.Float_cmp.approx_eq ~rtol ~atol:1e-12 a b
 
@@ -160,24 +109,24 @@ let bounds_props =
 let simulation_props =
   [
     QCheck.Test.make ~count:60 ~name:"exact delay inside the certified window" arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ts = Rctree.Moments.times tree ~output in
         let exact = Circuit.Measure.exact_delay tree ~output ~threshold:0.5 in
         Rctree.Bounds.t_min ts 0.5 -. 1e-9 <= exact
         && exact <= Rctree.Bounds.t_max ts 0.5 +. 1e-9);
     QCheck.Test.make ~count:60 ~name:"exact response between the voltage bounds" arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ts = Rctree.Moments.times tree ~output in
         let horizon = Float.max 1. (3. *. ts.Rctree.Times.t_p) in
         let times = Array.init 12 (fun k -> horizon *. float_of_int k /. 11.) in
         Circuit.Measure.bounds_hold tree ~output ~times);
     QCheck.Test.make ~count:60 ~name:"area identity: Elmore = area above response" arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         close ~rtol:1e-7
           (Rctree.Moments.elmore tree ~output)
           (Circuit.Measure.elmore_by_area tree ~output));
     QCheck.Test.make ~count:40 ~name:"transient tracks the eigendecomposition" arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ex = Circuit.Exact.of_tree tree in
         let tau = Circuit.Exact.dominant_time_constant ex in
         let r =
@@ -194,7 +143,7 @@ let extension_props =
   [
     QCheck.Test.make ~count:60 ~name:"moment recursion matches the eigendecomposition"
       arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ex = Circuit.Exact.of_tree tree in
         let m = Rctree.Higher_moments.output_moments tree ~output ~order:3 in
         let rec ok j =
@@ -204,20 +153,20 @@ let extension_props =
         ok 0);
     QCheck.Test.make ~count:60 ~name:"two-pole delay estimate falls inside the PR window"
       arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ts = Rctree.Moments.times tree ~output in
         let d = Rctree.Higher_moments.delay_estimate tree ~output ~threshold:0.5 in
         Rctree.Bounds.t_min ts 0.5 -. 1e-9 <= d && d <= Rctree.Bounds.t_max ts 0.5 +. 1e-9);
     QCheck.Test.make ~count:60 ~name:"two-pole model closer to exact than Elmore-as-delay"
       arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let exact = Circuit.Exact.delay (Circuit.Exact.of_tree tree) ~node:output ~threshold:0.5 in
         let two_pole = Rctree.Higher_moments.delay_estimate tree ~output ~threshold:0.5 in
         let elmore = Rctree.Moments.elmore tree ~output in
         Float.abs (two_pole -. exact) <= Float.abs (elmore -. exact) +. 1e-9);
     QCheck.Test.make ~count:40 ~name:"ramp response bounds bracket the simulated ramp"
       arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ts = Rctree.Moments.times tree ~output in
         let rise = Float.max 0.5 ts.Rctree.Times.t_d in
         let input = Rctree.Excitation.ramp ~rise_time:rise in
@@ -239,7 +188,7 @@ let extension_props =
           [ 1; 2; 3; 4; 5 ]);
     QCheck.Test.make ~count:60 ~name:"dc gain is 1 and magnitude never exceeds it"
       arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ac = Circuit.Ac.of_tree tree in
         close ~rtol:1e-9 1. (Circuit.Ac.dc_gain ac ~node:output)
         && List.for_all
@@ -247,27 +196,7 @@ let extension_props =
              [ 0.01; 1.; 100. ]);
   ]
 
-(* decorate deck text with legal noise: tabs, comments, case changes *)
-let decorate_deck st text =
-  let lines = String.split_on_char '\n' text in
-  let decorate line =
-    if line = "" then line
-    else begin
-      let line =
-        match Random.State.int st 4 with
-        | 0 -> line ^ " ; trailing comment"
-        | 1 -> "  " ^ line
-        | 2 -> String.map (fun c -> if c = ' ' then '\t' else c) line
-        | _ -> line
-      in
-      (* uppercase only the card letter: node names are case-sensitive *)
-      if Random.State.bool st && String.length line > 0 && line.[0] <> '.' && line.[0] <> '*'
-      then String.make 1 (Char.uppercase_ascii line.[0]) ^ String.sub line 1 (String.length line - 1)
-      else line
-    end
-  in
-  let noise = [ "* interleaved comment"; "" ] in
-  String.concat "\n" (List.concat_map (fun l -> decorate l :: (if Random.State.int st 3 = 0 then noise else [])) lines)
+let decorate_deck = Check.Gen.decorate_deck
 
 let spice_props =
   [
@@ -351,7 +280,7 @@ let misc_props =
              roots (Array.to_list found));
     QCheck.Test.make ~count:30 ~name:"matrix-free simulator matches the eigendecomposition"
       arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ex = Circuit.Exact.of_tree tree in
         let tau = Circuit.Exact.dominant_time_constant ex in
         (* backward Euler is first order: error scales with dt/tau *)
@@ -366,7 +295,7 @@ let misc_props =
         < 5e-3);
     QCheck.Test.make ~count:60 ~name:"certify verdicts consistent with the exact delay"
       arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ts = Rctree.Moments.times tree ~output in
         let exact = Circuit.Measure.exact_delay tree ~output ~threshold:0.5 in
         List.for_all
@@ -379,7 +308,7 @@ let misc_props =
           [ 0.3; 0.8; 1.0; 1.3; 3.0 ]);
     QCheck.Test.make ~count:60 ~name:"falling bounds bracket the mirrored response"
       arb_sim_case
-      (fun { tree; output } ->
+      (fun { Check.Case.tree; output; _ } ->
         let ts = Rctree.Moments.times tree ~output in
         let ex = Circuit.Exact.of_tree tree in
         let tau = Circuit.Exact.dominant_time_constant ex in
