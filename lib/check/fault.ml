@@ -1,12 +1,13 @@
-type t = Drop_vmax_exp | Elmore_tmax | Inflate_tmin | Swap_tr_td
+type t = Drop_vmax_exp | Elmore_tmax | Inflate_tmin | Swap_tr_td | Skew_ldl_pivot
 
-let all = [ Drop_vmax_exp; Elmore_tmax; Inflate_tmin; Swap_tr_td ]
+let all = [ Drop_vmax_exp; Elmore_tmax; Inflate_tmin; Swap_tr_td; Skew_ldl_pivot ]
 
 let to_string = function
   | Drop_vmax_exp -> "drop-vmax-exp"
   | Elmore_tmax -> "elmore-tmax"
   | Inflate_tmin -> "inflate-tmin"
   | Swap_tr_td -> "swap-tr-td"
+  | Skew_ldl_pivot -> "skew-ldl-pivot"
 
 let of_string s = List.find_opt (fun f -> to_string f = s) all
 
@@ -16,9 +17,20 @@ let describe = function
   | Elmore_tmax -> "use the Elmore delay T_De as the upper delay bound instead of eqs. (16)-(17)"
   | Inflate_tmin -> "multiply the lower delay bound of eqs. (13)-(15) by 1.25"
   | Swap_tr_td -> "evaluate every bound with T_De and T_Re swapped"
+  | Skew_ldl_pivot ->
+      "scale pivot D_0 of every tree LDL^T factorization by 1.05, breaking the direct \
+       transient solve"
 
 let state : t option Atomic.t = Atomic.make None
-let set f = Atomic.set state f
+
+(* Skew_ldl_pivot corrupts the factorization inside the production
+   solver itself, through the numeric layer's fault hook, so the
+   broken solve flows through the exact code path the direct-solver
+   property exercises *)
+let set f =
+  Atomic.set state f;
+  Numeric.Tree_ldl.set_pivot_fault
+    (match f with Some Skew_ldl_pivot -> Some (0, 1.05) | _ -> None)
 let current () = Atomic.get state
 
 let with_fault f body =

@@ -24,12 +24,18 @@ type t =
           thresholds *)
   | Inflate_tmin  (** multiply the lower delay bound of eqs. (13)-(15) by 1.25 *)
   | Swap_tr_td  (** evaluate every bound with [T_De] and [T_Re] swapped *)
+  | Skew_ldl_pivot
+      (** scale pivot [D_0] of every {!Numeric.Tree_ldl} factorization
+          by 1.05 (through the solver's own fault hook), so each
+          [`Direct] transient solve silently drifts — the
+          [direct-solver] property must notice the disagreement with
+          the CG and dense-LU oracles *)
 
 val all : t list
 
 val to_string : t -> string
 (** Stable CLI names: ["drop-vmax-exp"], ["elmore-tmax"],
-    ["inflate-tmin"], ["swap-tr-td"]. *)
+    ["inflate-tmin"], ["swap-tr-td"], ["skew-ldl-pivot"]. *)
 
 val of_string : string -> t option
 val describe : t -> string

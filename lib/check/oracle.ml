@@ -59,6 +59,10 @@ let registry =
       "Circuit.Transient backward-Euler ODE integration (L-stable against the stiff \
        ghost-capacitance modes), and the area identity area_above_response = T_De of the \
        lumped tree" );
+    ( "Numeric.Tree_ldl via Circuit.Large/Transient [`Direct] (factor-once zero-fill-in tree \
+       LDL^T)",
+      "the [`Cg] matrix-free conjugate-gradient path and the [`Dense] MNA + LU path stepping \
+       the same discrete system, backward Euler and trapezoidal" );
     ("Spice.Printer decks", "Spice.Parser + Elaborate round-trip under legal deck noise");
     ( "Incremental.apply (memoized spine re-evaluation)",
       "Incremental.edit_expr + from-scratch Expr.times, compared bit-for-bit" );

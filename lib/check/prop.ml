@@ -136,7 +136,7 @@ let run_transient o =
        the tolerance *)
     let dt = tau /. 800. in
     let res =
-      Circuit.Transient.simulate ~integration:Circuit.Transient.Backward_euler
+      Circuit.Transient.simulate ~integration:Circuit.Transient.Backward_euler ~solver:`Direct
         (Oracle.lumped o) ~dt ~t_end:(3. *. tau) ~input:Circuit.Transient.step_input
     in
     let wf = Circuit.Transient.waveform res ~node in
@@ -149,6 +149,53 @@ let run_transient o =
       else None
     in
     match List.find_map violation [ 0.25; 0.5; 1.; 2.; 3. ] with Some f -> f | None -> Pass
+  end
+
+(* --- the three per-step linear solvers agree -------------------------- *)
+
+let run_direct_solver o =
+  if Oracle.degenerate o then Pass
+  else begin
+    let tree = Oracle.lumped o in
+    let node = Oracle.lumped_output o in
+    let tau = Circuit.Exact.dominant_time_constant (Oracle.exact o) in
+    let dt = tau /. 100. and t_end = tau in
+    let be solver =
+      List.assoc node
+        (Circuit.Large.step_response ~solver ~tol:1e-12 tree ~dt ~t_end ~outputs:[ node ])
+    in
+    let trap solver =
+      let r =
+        Circuit.Transient.simulate ~integration:Circuit.Transient.Trapezoidal ~solver tree ~dt
+          ~t_end ~input:Circuit.Transient.step_input
+      in
+      Circuit.Transient.waveform r ~node
+    in
+    (* direct vs dense differ by factorization roundoff (~eps * kappa);
+       CG only meets its relative-residual target, so it gets slack *)
+    let agree what tol wa wb =
+      List.find_map
+        (fun f ->
+          let t = f *. tau in
+          let va = Circuit.Waveform.value_at wa t and vb = Circuit.Waveform.value_at wb t in
+          if Float.abs (va -. vb) > tol then
+            Some
+              (failf "%s: %.12g vs %.12g at t=%.6g (diff %.3g)" what va vb t
+                 (Float.abs (va -. vb)))
+          else None)
+        [ 0.1; 0.25; 0.5; 0.75; 1. ]
+    in
+    let w_direct = be `Direct in
+    match
+      List.find_map Fun.id
+        [
+          agree "direct LDL^T vs dense LU (backward Euler)" 1e-8 w_direct (be `Dense);
+          agree "direct LDL^T vs CG (backward Euler)" 1e-6 w_direct (be `Cg);
+          agree "direct LDL^T vs dense LU (trapezoidal)" 1e-8 (trap `Direct) (trap `Dense);
+        ]
+    with
+    | Some f -> f
+    | None -> Pass
   end
 
 (* --- decks round-trip under legal noise ------------------------------- *)
@@ -260,6 +307,12 @@ let all =
       name = "transient-vs-exact";
       doc = "time-stepping ODE integration agrees with the eigendecomposition";
       run = run_transient;
+    };
+    {
+      name = "direct-solver";
+      doc = "the factor-once tree LDL^T solver matches the CG and dense-LU oracles, backward \
+             Euler and trapezoidal";
+      run = run_direct_solver;
     };
     {
       name = "spice-roundtrip";

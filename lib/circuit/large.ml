@@ -3,9 +3,11 @@ let m_timesteps = Obs.Counter.make "large.timesteps"
 let m_cg_iterations = Obs.Counter.make "large.cg_iterations"
 let m_iters_per_step = Obs.Histogram.make "large.cg_iterations_per_step"
 
+type solver = [ `Direct | `Cg | `Dense ]
+
 type operator = {
   conductance : float array; (* per node: 1/R of the edge above it; 0 for the input *)
-  parent_row : int array; (* row of the parent; -1 when the parent is the input *)
+  parent_row : int array; (* row of the parent; -1 when the parent is the driven input *)
   children_rows : int list array; (* rows of the children *)
   c_over_dt : float array;
   source_rows : int list; (* rows whose parent is the driven input *)
@@ -67,25 +69,51 @@ let operator ?cap_floor tree ~dt =
 
 let node_count op = Array.length op.conductance
 
-(* y = (C/dt + G) x, walking edges instead of a matrix *)
-let apply op x =
+let row op node =
+  if node < 0 || node >= Array.length op.row_of_node then
+    invalid_arg "Large.row: unknown node";
+  op.row_of_node.(node)
+
+let c_over_dt op = op.c_over_dt
+let source_rows op = List.map (fun r -> (r, op.conductance.(r))) op.source_rows
+
+let diagonal op =
+  Array.init (node_count op) (fun r ->
+      op.c_over_dt.(r) +. op.conductance.(r)
+      +. List.fold_left (fun acc child -> acc +. op.conductance.(child)) 0. op.children_rows.(r))
+
+(* y = (C/dt + G) x into a caller buffer, walking edges instead of a matrix *)
+let apply_into op x ~into:y =
   let rows = Array.length op.conductance in
-  if Array.length x <> rows then invalid_arg "Large.apply: dimension mismatch";
-  let y = Array.make rows 0. in
-  for row = 0 to rows - 1 do
-    y.(row) <- op.c_over_dt.(row) *. x.(row);
-    (* the edge above [row]: current g*(x_row - x_parent) *)
-    let xp = if op.parent_row.(row) = -1 then 0. else x.(op.parent_row.(row)) in
-    y.(row) <- y.(row) +. (op.conductance.(row) *. (x.(row) -. xp));
-    (* edges below [row] *)
+  if Array.length x <> rows || Array.length y <> rows then
+    invalid_arg "Large.apply: dimension mismatch";
+  for r = 0 to rows - 1 do
+    y.(r) <- op.c_over_dt.(r) *. x.(r);
+    (* the edge above [r]: current g*(x_r - x_parent) *)
+    let xp = if op.parent_row.(r) = -1 then 0. else x.(op.parent_row.(r)) in
+    y.(r) <- y.(r) +. (op.conductance.(r) *. (x.(r) -. xp));
+    (* edges below [r] *)
     List.iter
-      (fun child ->
-        y.(row) <- y.(row) +. (op.conductance.(child) *. (x.(row) -. x.(child))))
-      op.children_rows.(row)
-  done;
+      (fun child -> y.(r) <- y.(r) +. (op.conductance.(child) *. (x.(r) -. x.(child))))
+      op.children_rows.(r)
+  done
+
+let apply op x =
+  let y = Array.make (Array.length op.conductance) 0. in
+  apply_into op x ~into:y;
   y
 
-let step_response ?cap_floor ?(tol = 1e-10) tree ~dt ~t_end ~outputs =
+(* leaf-first elimination of (C/dt + G): the builder numbers parents
+   before children, so [parent_row] already satisfies Tree_ldl's
+   elimination-order contract *)
+let factor op =
+  let offdiag =
+    Array.init (node_count op) (fun r ->
+        if op.parent_row.(r) = -1 then 0. else -.op.conductance.(r))
+  in
+  Numeric.Tree_ldl.factor ~parent:op.parent_row ~diag:(diagonal op) ~offdiag
+
+let step_response ?cap_floor ?(tol = 1e-10) ?(solver = `Direct) tree ~dt ~t_end ~outputs =
   if t_end < 0. then invalid_arg "Large.step_response: negative t_end";
   Obs.Span.with_ ~name:"circuit.large" @@ fun () ->
   Obs.Counter.incr m_solves;
@@ -96,37 +124,74 @@ let step_response ?cap_floor ?(tol = 1e-10) tree ~dt ~t_end ~outputs =
         invalid_arg "Large.step_response: unknown output node")
     outputs;
   let rows = node_count op in
-  let diag =
-    Array.init rows (fun row ->
-        op.c_over_dt.(row) +. op.conductance.(row)
-        +. List.fold_left (fun acc child -> acc +. op.conductance.(child)) 0. op.children_rows.(row))
-  in
   let steps = int_of_float (Float.ceil (t_end /. dt)) in
-  let x = ref (Array.make rows 0.) in
-  let times = Array.init (steps + 1) (fun k -> float_of_int k *. dt) in
+  (* not Array.init: its closure would box one float per step *)
+  let times = Array.make (steps + 1) 0. in
+  for k = 1 to steps do
+    times.(k) <- float_of_int k *. dt
+  done;
   let traces = List.map (fun node -> (node, Array.make (steps + 1) 0.)) outputs in
-  let record k =
-    List.iter
-      (fun (node, arr) ->
-        let row = op.row_of_node.(node) in
-        arr.(k) <- (if row = -1 then 1. else !x.(row)))
-      traces
+  let trace_arr = Array.of_list traces in
+  (* plain loops, not List.iter closures: the direct path must not
+     allocate per step *)
+  let record k x =
+    for j = 0 to Array.length trace_arr - 1 do
+      let node, arr = trace_arr.(j) in
+      let r = op.row_of_node.(node) in
+      arr.(k) <- (if r = -1 then 1. else x.(r))
+    done
   in
   (* at t = 0 everything is discharged except the (ideal) input *)
   List.iter (fun (node, arr) -> if op.row_of_node.(node) = -1 then arr.(0) <- 1.) traces;
-  for k = 1 to steps do
-    (* rhs = C/dt x_prev + b, with b the source injection (u = 1) *)
-    let rhs = Array.mapi (fun row xi -> op.c_over_dt.(row) *. xi) !x in
-    List.iter (fun row -> rhs.(row) <- rhs.(row) +. op.conductance.(row)) op.source_rows;
-    let solution, (stats : Numeric.Cg.stats) =
-      Numeric.Cg.solve ~tol ~diag_precondition:diag ~mul:(apply op) rhs
-    in
-    Obs.Counter.incr m_timesteps;
-    Obs.Counter.add m_cg_iterations stats.Numeric.Cg.iterations;
-    Obs.Histogram.observe m_iters_per_step (float_of_int stats.Numeric.Cg.iterations);
-    x := solution;
-    record k
-  done;
+  (match solver with
+  | `Direct ->
+      (* factor (C/dt + G) once; each step is two O(n) sweeps in the
+         preallocated buffers — nothing is allocated per step *)
+      let f = factor op in
+      let sources = Array.of_list op.source_rows in
+      let x = ref (Array.make rows 0.) in
+      let rhs = ref (Array.make rows 0.) in
+      for k = 1 to steps do
+        let x_now = !x and b = !rhs in
+        for r = 0 to rows - 1 do
+          b.(r) <- op.c_over_dt.(r) *. x_now.(r)
+        done;
+        for j = 0 to Array.length sources - 1 do
+          let r = sources.(j) in
+          b.(r) <- b.(r) +. op.conductance.(r)
+        done;
+        Numeric.Tree_ldl.solve_in_place f b;
+        x := b;
+        rhs := x_now;
+        Obs.Counter.incr m_timesteps;
+        record k b
+      done
+  | `Cg ->
+      let diag = diagonal op in
+      let x = ref (Array.make rows 0.) in
+      for k = 1 to steps do
+        (* rhs = C/dt x_prev + b, with b the source injection (u = 1) *)
+        let rhs = Array.mapi (fun r xi -> op.c_over_dt.(r) *. xi) !x in
+        List.iter (fun r -> rhs.(r) <- rhs.(r) +. op.conductance.(r)) op.source_rows;
+        let solution, (stats : Numeric.Cg.stats) =
+          Numeric.Cg.solve ~tol ~diag_precondition:diag ~mul:(apply op) rhs
+        in
+        Obs.Counter.incr m_timesteps;
+        Obs.Counter.add m_cg_iterations stats.Numeric.Cg.iterations;
+        Obs.Histogram.observe m_iters_per_step (float_of_int stats.Numeric.Cg.iterations);
+        x := solution;
+        record k !x
+      done
+  | `Dense ->
+      (* the oracle path: dense MNA stamping + LU, same row numbering *)
+      let sys = Mna.of_tree ?cap_floor tree in
+      let stepper = Numeric.Ode.backward_euler ~c:(Mna.c_matrix sys) ~g:sys.g ~b:sys.b ~dt in
+      let x = ref (Array.make rows 0.) in
+      for k = 1 to steps do
+        x := Numeric.Ode.step stepper ~x:!x ~u_now:1. ~u_next:1.;
+        Obs.Counter.incr m_timesteps;
+        record k !x
+      done);
   List.map (fun (node, arr) -> (node, Waveform.create ~times ~values:arr)) traces
 
 let rc_chain ~sections ~r ~c =

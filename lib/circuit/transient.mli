@@ -4,14 +4,28 @@
     input waveforms (ramps, pulse trains), at the price of
     discretization error.  Trapezoidal integration (the SPICE default)
     is second-order accurate; halving [dt] quarters the error — tested
-    against {!Exact} in the suite. *)
+    against {!Exact} in the suite.
+
+    The per-step linear solve goes through a [solver] selector shared
+    with {!Large}: the default [`Direct] factors the tree-structured
+    iteration matrix once with the zero-fill-in LDLᵀ of
+    {!Numeric.Tree_ldl} and advances every step with two O(n) sweeps;
+    [`Cg] keeps the matrix-free conjugate-gradient iteration alive;
+    [`Dense] is the original dense MNA + LU path, kept as the oracle
+    the sparse solvers are verified against (property
+    [direct-solver]).  All three integrate the same discrete system,
+    so they agree to solver roundoff. *)
 
 type integration = Backward_euler | Trapezoidal
+
+type solver = [ `Direct | `Cg | `Dense ]
+(** See {!Large.solver}. *)
 
 type result
 
 val simulate :
   ?integration:integration ->
+  ?solver:solver ->
   ?cap_floor:float ->
   Rctree.Tree.t ->
   dt:float ->

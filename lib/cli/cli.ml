@@ -6,6 +6,7 @@
      voltage   voltage bounds at given times
      certify   the paper's OK check for one threshold/deadline
      simulate  exact step response as CSV
+     transient time-stepping step response as CSV (direct/cg/dense solver)
      pla       the Section V PLA experiment
      fig10     the paper's Fig. 10 session on the built-in Fig. 7 net
      ramp      crossing bounds under a ramp input (superposition)
@@ -143,6 +144,75 @@ let simulate_cmd path t_end samples segments =
           times;
         0
       end)
+
+(* time-stepping counterpart of [simulate]: same CSV shape, but through
+   Circuit.Transient with the per-step solver selectable, so waveforms
+   from the factor-once tree LDL^T can be diffed against the CG and
+   dense-LU oracles from the shell *)
+let transient_cmd path dt t_end solver integration samples segments =
+  with_tree path (fun tree ->
+      let bad msg =
+        prerr_endline ("transient: " ^ msg);
+        2
+      in
+      match
+        ( (match String.lowercase_ascii solver with
+          | "direct" -> Ok `Direct
+          | "cg" -> Ok `Cg
+          | "dense" -> Ok `Dense
+          | s -> Error (Printf.sprintf "unknown solver %S (expected direct, cg or dense)" s)),
+          match String.lowercase_ascii integration with
+          | "trap" | "trapezoidal" -> Ok Circuit.Transient.Trapezoidal
+          | "be" | "backward-euler" -> Ok Circuit.Transient.Backward_euler
+          | s ->
+              Error (Printf.sprintf "unknown integration %S (expected trap or be)" s) )
+      with
+      | Error m, _ | _, Error m -> bad m
+      | Ok solver, Ok integration ->
+          if t_end <= 0. then begin
+            prerr_endline "transient: --t-end must be positive";
+            1
+          end
+          else begin
+            let dt = match dt with Some d -> d | None -> t_end /. 1000. in
+            if dt <= 0. then begin
+              prerr_endline "transient: --dt must be positive";
+              1
+            end
+            else begin
+              let lumped =
+                if Rctree.Tree.has_distributed_lines tree then
+                  Rctree.Lump.discretize ~segments tree
+                else tree
+              in
+              let res =
+                Circuit.Transient.simulate ~integration ~solver lumped ~dt ~t_end
+                  ~input:Circuit.Transient.step_input
+              in
+              let waves =
+                List.map
+                  (fun (label, id) -> (label, Circuit.Transient.waveform res ~node:id))
+                  (Rctree.Tree.outputs lumped)
+              in
+              let times =
+                Array.init samples (fun i ->
+                    t_end *. float_of_int i /. float_of_int (samples - 1))
+              in
+              print_string (String.concat "," ("t" :: List.map fst waves));
+              print_newline ();
+              Array.iter
+                (fun t ->
+                  let cells =
+                    List.map
+                      (fun (_, w) -> Printf.sprintf "%.6g" (Circuit.Waveform.value_at w t))
+                      waves
+                  in
+                  print_string (String.concat "," (Printf.sprintf "%.6g" t :: cells));
+                  print_newline ())
+                times;
+              0
+            end
+          end)
 
 let pla_cmd minterms threshold =
   let process = Tech.Process.default_4um in
@@ -502,13 +572,20 @@ let stats_cmd () =
        with
       | Ok deck -> ignore (Spice.Elaborate.to_tree deck)
       | Error _ -> ());
+      (* both the default factor-once tree LDL^T path and the dense
+         MNA + LU oracle, so treesolve.* and lu/ode counters all fire *)
       ignore
         (Circuit.Transient.simulate lumped ~dt:5. ~t_end:100.
+           ~input:Circuit.Transient.step_input);
+      ignore
+        (Circuit.Transient.simulate ~solver:`Dense lumped ~dt:5. ~t_end:100.
            ~input:Circuit.Transient.step_input);
       ignore (Circuit.Exact.of_tree lumped);
       let chain = Circuit.Large.rc_chain ~sections:64 ~r:10. ~c:1e-13 in
       let out = Rctree.Tree.output_named chain "out" in
       ignore (Circuit.Large.step_response chain ~dt:1e-10 ~t_end:2e-9 ~outputs:[ out ]);
+      ignore
+        (Circuit.Large.step_response ~solver:`Cg chain ~dt:1e-10 ~t_end:2e-9 ~outputs:[ out ]);
       let adder = Sta.Generate.ripple_carry_adder ~bits:4 () in
       ignore (Sta.Report.timing_report (Sta.Analysis.run_exn adder));
       (* the parallel engine: batch characteristic times of every node
@@ -547,6 +624,7 @@ let stats_cmd () =
       (fun name -> counter name = 0)
       [
         "cg.iterations"; "eigen.decompositions"; "lu.factorizations"; "ode.steps";
+        "treesolve.factors"; "treesolve.solves";
         "transient.simulations"; "large.timesteps"; "expr.evals"; "convert.tree_of_expr";
         "spice.decks_parsed"; "spice.elaborations"; "sta.instances_visited";
         "pool.jobs"; "pool.chunks"; "rctree.analysis_handles"; "rctree.analysis_batches";
@@ -699,6 +777,38 @@ let cmd_simulate =
     Term.(
       const (fun obs path t n s -> run_obs obs "simulate" (fun () -> simulate_cmd path t n s))
       $ obs_term $ file_arg $ t_end_arg $ samples_arg $ segments_arg)
+
+let dt_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "dt" ] ~docv:"T" ~doc:"Time step (default: $(b,--t-end) / 1000).")
+
+let solver_arg =
+  Arg.(
+    value & opt string "direct"
+    & info [ "solver" ] ~docv:"NAME"
+        ~doc:
+          "Per-step linear solver: $(b,direct) (factor-once zero-fill-in tree LDL^T, the \
+           default), $(b,cg) (matrix-free conjugate gradients) or $(b,dense) (MNA + LU).  \
+           All three produce the same waveform to solver roundoff.")
+
+let integration_arg =
+  Arg.(
+    value & opt string "trap"
+    & info [ "integration" ] ~docv:"METHOD"
+        ~doc:"Integration method: $(b,trap) (trapezoidal, the default) or $(b,be) (backward \
+              Euler).")
+
+let cmd_transient =
+  Cmd.v
+    (Cmd.info "transient"
+       ~doc:"Time-stepping step response as CSV, with a selectable per-step solver")
+    Term.(
+      const (fun obs path dt t slv intg n s ->
+          run_obs obs "transient" (fun () -> transient_cmd path dt t slv intg n s))
+      $ obs_term $ file_arg $ dt_arg $ t_end_arg $ solver_arg $ integration_arg $ samples_arg
+      $ segments_arg)
 
 let cmd_pla =
   Cmd.v (Cmd.info "pla" ~doc:"PLA AND-plane delay sweep (paper Section V)")
@@ -944,9 +1054,9 @@ let inject_arg =
     & opt (some string) None
     & info [ "inject" ] ~docv:"FAULT"
         ~doc:
-          "Deliberately corrupt one bound to watch the harness catch, shrink and persist a \
-           counterexample: $(b,drop-vmax-exp), $(b,elmore-tmax), $(b,inflate-tmin) or \
-           $(b,swap-tr-td).")
+          "Deliberately corrupt one bound (or the direct solver's factorization) to watch the \
+           harness catch, shrink and persist a counterexample: $(b,drop-vmax-exp), \
+           $(b,elmore-tmax), $(b,inflate-tmin), $(b,swap-tr-td) or $(b,skew-ldl-pivot).")
 
 let corpus_arg =
   Arg.(
@@ -971,8 +1081,9 @@ let main =
     (Cmd.info "rcdelay" ~version:"1.0.0"
        ~doc:"Penfield-Rubinstein signal delay bounds for RC tree networks")
     [
-      cmd_times; cmd_bounds; cmd_voltage; cmd_certify; cmd_simulate; cmd_pla; cmd_fig10;
-      cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder; cmd_sweep; cmd_stats; cmd_selfcheck;
+      cmd_times; cmd_bounds; cmd_voltage; cmd_certify; cmd_simulate; cmd_transient; cmd_pla;
+      cmd_fig10; cmd_ramp; cmd_moments; cmd_ac; cmd_sta; cmd_adder; cmd_sweep; cmd_stats;
+      cmd_selfcheck;
     ]
 
 let run argv = Cmd.eval' ~argv main

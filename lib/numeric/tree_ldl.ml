@@ -1,0 +1,73 @@
+let m_factors = Obs.Counter.make "treesolve.factors"
+let m_solves = Obs.Counter.make "treesolve.solves"
+let m_solve_ns = Obs.Histogram.make "treesolve.solve_ns"
+
+type t = {
+  parent : int array; (* parent.(i) < i; -1 at a root of the forest *)
+  l : float array; (* l.(i) = A.(i).(parent i) / D.(i), 0 at roots *)
+  d : float array; (* the positive pivots, in elimination (reverse index) order *)
+}
+
+let fault : (int * float) option Atomic.t = Atomic.make None
+let set_pivot_fault f = Atomic.set fault f
+let pivot_fault () = Atomic.get fault
+
+let size t = Array.length t.d
+
+let factor ~parent ~diag ~offdiag =
+  let n = Array.length parent in
+  if Array.length diag <> n || Array.length offdiag <> n then
+    invalid_arg "Tree_ldl.factor: parent/diag/offdiag lengths differ";
+  for i = 0 to n - 1 do
+    if parent.(i) < -1 || parent.(i) >= i then
+      invalid_arg "Tree_ldl.factor: need -1 <= parent.(i) < i (parents before children)"
+  done;
+  let d = Array.copy diag in
+  let l = Array.make n 0. in
+  (* leaf-to-root elimination: children carry larger indices, so by the
+     time [i] is eliminated every child has already folded its Schur
+     complement a²/D into d.(i) *)
+  for i = n - 1 downto 0 do
+    if d.(i) <= 0. then invalid_arg "Tree_ldl.factor: matrix is not positive definite";
+    let p = parent.(i) in
+    if p >= 0 then begin
+      let a = offdiag.(i) in
+      let li = a /. d.(i) in
+      l.(i) <- li;
+      d.(p) <- d.(p) -. (a *. li)
+    end
+  done;
+  (match Atomic.get fault with
+  | Some (i, s) when n > 0 ->
+      let i = ((i mod n) + n) mod n in
+      d.(i) <- d.(i) *. s
+  | _ -> ());
+  Obs.Counter.incr m_factors;
+  { parent; l; d }
+
+let solve_in_place t b =
+  let n = Array.length t.d in
+  if Array.length b <> n then invalid_arg "Tree_ldl.solve_in_place: dimension mismatch";
+  let timed = Obs.enabled () in
+  let t0 = if timed then Unix.gettimeofday () else 0. in
+  (* forward sweep, leaves toward the root: b <- L⁻¹ b *)
+  for i = n - 1 downto 0 do
+    let p = t.parent.(i) in
+    if p >= 0 then b.(p) <- b.(p) -. (t.l.(i) *. b.(i))
+  done;
+  (* diagonal: b <- D⁻¹ b *)
+  for i = 0 to n - 1 do
+    b.(i) <- b.(i) /. t.d.(i)
+  done;
+  (* back sweep, root toward the leaves: b <- L⁻ᵀ b *)
+  for i = 0 to n - 1 do
+    let p = t.parent.(i) in
+    if p >= 0 then b.(i) <- b.(i) -. (t.l.(i) *. b.(p))
+  done;
+  Obs.Counter.incr m_solves;
+  if timed then Obs.Histogram.observe m_solve_ns ((Unix.gettimeofday () -. t0) *. 1e9)
+
+let solve t b =
+  let x = Array.copy b in
+  solve_in_place t x;
+  x

@@ -1,0 +1,54 @@
+(** Zero-fill-in LDLᵀ factorization of tree-structured SPD matrices.
+
+    An RC tree's backward-Euler iteration matrix [(C/dt + G)] couples
+    each unknown only to its parent, so with nodes numbered parents
+    before children ([parent i < i]) the leaf-to-root elimination
+    order [n-1, …, 0] is a perfect elimination order: every eliminated
+    node has exactly one remaining neighbour (its parent), so the
+    Cholesky factor has the same sparsity as the tree — {e zero}
+    fill-in.  Trees are chordal, which is why such an order exists at
+    all.  Factoring is O(n) once; each solve is two O(n) triangular
+    sweeps plus a diagonal scale, with no tolerance knob and no
+    iteration count — unlike conjugate gradients, whose iterations
+    grow with chain depth on stiff nets.
+
+    Storage is three flat [float array]s ([L] off-diagonals, [D]
+    pivots, plus the caller's parent array), and {!solve_in_place}
+    works entirely inside the caller's right-hand-side buffer, so a
+    factor-once / step-many transient loop allocates nothing per
+    step. *)
+
+type t
+
+val factor : parent:int array -> diag:float array -> offdiag:float array -> t
+(** [factor ~parent ~diag ~offdiag] factors the n×n SPD matrix [A]
+    with [A.(i).(i) = diag.(i)] and
+    [A.(i).(parent.(i)) = A.(parent.(i)).(i) = offdiag.(i)] (ignored
+    where [parent.(i) = -1]; several roots — a forest — are fine).
+    The parent array is borrowed, not copied: it must not be mutated
+    while the factorization is in use.
+
+    Raises [Invalid_argument] on mismatched lengths, on an index
+    violating [-1 <= parent.(i) < i], or when a pivot comes out
+    non-positive (the matrix was not positive definite). *)
+
+val size : t -> int
+
+val solve_in_place : t -> float array -> unit
+(** [solve_in_place t b] overwrites [b] with [A⁻¹ b]: one leaf-to-root
+    forward sweep, a diagonal scale, one root-to-leaf back sweep.
+    Allocation-free (when metrics are disabled).  Raises
+    [Invalid_argument] on a length mismatch. *)
+
+val solve : t -> float array -> float array
+(** Non-destructive {!solve_in_place} (copies [b] first). *)
+
+val set_pivot_fault : (int * float) option -> unit
+(** Fault-injection hook for the differential verifier
+    ({!Check.Fault}): with [Some (i, s)] armed, every subsequent
+    {!factor} scales pivot [D.(i mod n)] by [s] {e after} elimination —
+    a deliberately corrupted factorization whose solves are wrong by
+    O(|1-s|).  Process-wide (an atomic, so pool workers observe it);
+    [None] disarms.  Never arm this outside harness self-tests. *)
+
+val pivot_fault : unit -> (int * float) option

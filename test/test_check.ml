@@ -41,7 +41,7 @@ let corpus_tests =
           entries);
     Alcotest.test_case "oracle registry pairs every public answer" `Quick (fun () ->
         check_bool "registry non-trivial" true (List.length Check.Oracle.registry >= 5);
-        check_int "catalog size" 8 (List.length Check.Prop.all));
+        check_int "catalog size" 9 (List.length Check.Prop.all));
   ]
 
 let runner_tests =

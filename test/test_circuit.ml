@@ -309,6 +309,87 @@ let large_tests =
         check_invalid "unknown output" (fun () ->
             step_response tree ~dt:0.5 ~t_end:1. ~outputs:[ 99 ]);
         check_invalid "sections" (fun () -> rc_chain ~sections:0 ~r:1. ~c:1.));
+    Alcotest.test_case "three solvers agree; direct is deterministic" `Quick (fun () ->
+        let tree = rc_chain ~sections:200 ~r:10. ~c:1e-13 in
+        let out = Rctree.Tree.output_named tree "out" in
+        let tau = Rctree.Moments.elmore tree ~output:out in
+        let dt = tau /. 50. and t_end = tau in
+        let run solver = List.assoc out (step_response ~solver ~tol:1e-12 tree ~dt ~t_end ~outputs:[ out ]) in
+        let wd = run `Direct and wc = run `Cg and wl = run `Dense and wd2 = run `Direct in
+        List.iter
+          (fun f ->
+            let t = f *. tau in
+            let v = Circuit.Waveform.value_at wd t in
+            check_close ~eps:0. "deterministic" v (Circuit.Waveform.value_at wd2 t);
+            check_close ~eps:1e-9 "direct vs cg" v (Circuit.Waveform.value_at wc t);
+            check_close ~eps:1e-9 "direct vs dense" v (Circuit.Waveform.value_at wl t))
+          [ 0.1; 0.3; 0.5; 0.8; 1. ]);
+    Alcotest.test_case "direct solver matches the eigendecomposition" `Quick (fun () ->
+        (* the lumped sub-net: the direct solver's backward-Euler waveform
+           against the exact eigendecomposition of the same tree *)
+        let tree = rc_chain ~sections:60 ~r:10. ~c:1e-13 in
+        let out = Rctree.Tree.output_named tree "out" in
+        let ex = Circuit.Exact.of_tree tree in
+        let tau = Circuit.Exact.dominant_time_constant ex in
+        let dt = tau /. 2000. in
+        let ws = List.assoc out (step_response tree ~dt ~t_end:tau ~outputs:[ out ]) in
+        List.iter
+          (fun f ->
+            let t = f *. tau in
+            check_close ~eps:2e-3 "v"
+              (Circuit.Exact.voltage ex ~node:out t)
+              (Circuit.Waveform.value_at ws t))
+          [ 0.1; 0.25; 0.5; 0.75; 1. ]);
+    Alcotest.test_case "50k-node chain matches the analytic distributed line" `Slow (fun () ->
+        (* a 50 000-section uniform chain is a fine spatial discretization
+           of the distributed RC line, whose step response at the far end
+           is v(t) = 1 - (4/pi) sum ((-1)^n / (2n+1)) exp(-((2n+1) pi/2)^2 t/(RC))
+           with R, C the line totals *)
+        let sections = 50_000 in
+        let r_tot = 1000. and c_tot = 1e-9 in
+        let tree =
+          rc_chain ~sections ~r:(r_tot /. float_of_int sections)
+            ~c:(c_tot /. float_of_int sections)
+        in
+        let out = Rctree.Tree.output_named tree "out" in
+        let rc = r_tot *. c_tot in
+        let analytic t =
+          let rec go n acc =
+            let k = float_of_int ((2 * n) + 1) in
+            let rate = (k *. Float.pi /. 2.) ** 2. /. rc in
+            let term = exp (-.rate *. t) /. k in
+            let acc = acc +. (if n mod 2 = 0 then -.term else term) in
+            if n > 30 || term < 1e-12 then acc else go (n + 1) acc
+          in
+          1. +. (4. /. Float.pi *. go 0 0.)
+        in
+        let dt = rc /. 4000. in
+        let ws = List.assoc out (step_response tree ~dt ~t_end:(rc /. 2.) ~outputs:[ out ]) in
+        List.iter
+          (fun f ->
+            let t = f *. rc in
+            check_close ~eps:5e-3 "v" (analytic t) (Circuit.Waveform.value_at ws t))
+          [ 0.1; 0.2; 0.35; 0.5 ]);
+    Alcotest.test_case "direct stepping does not allocate per step" `Quick (fun () ->
+        (* minor-heap growth must not scale with the step count: compare a
+           short and a 10x longer run of the same net (metrics disabled);
+           any per-step closure or boxing would add >= thousands of words *)
+        let tree = rc_chain ~sections:200 ~r:10. ~c:1e-13 in
+        let out = Rctree.Tree.output_named tree "out" in
+        let tau = Rctree.Moments.elmore tree ~output:out in
+        let delta steps =
+          let dt = tau /. float_of_int steps in
+          Gc.full_major ();
+          let w0 = Gc.minor_words () in
+          ignore (step_response tree ~dt ~t_end:tau ~outputs:[ out ]);
+          Gc.minor_words () -. w0
+        in
+        ignore (delta 100) (* warm-up *);
+        let short = delta 500 and long = delta 5000 in
+        check_bool
+          (Printf.sprintf "minor words independent of steps (%.0f vs %.0f)" short long)
+          true
+          (Float.abs (long -. short) < 1000.));
   ]
 
 let () =

@@ -167,6 +167,35 @@ let tests =
     Alcotest.test_case "unknown subcommand fails" `Quick (fun () ->
         let code, _ = run [ "frobnicate" ] in
         check_bool "nonzero" true (code <> 0));
+    Alcotest.test_case "transient: all three solvers emit the same CSV" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let base = [ "transient"; deck; "--t-end"; "200"; "--samples"; "9" ] in
+            let code_d, out_d = run base in
+            let code_c, out_c = run (base @ [ "--solver"; "cg" ]) in
+            let code_l, out_l = run (base @ [ "--solver"; "dense" ]) in
+            check_int "direct exit" 0 code_d;
+            check_int "cg exit" 0 code_c;
+            check_int "dense exit" 0 code_l;
+            check_bool "header" true (contains out_d "t,e");
+            (* %.6g formatting absorbs solver roundoff: byte-identical *)
+            check_bool "direct = cg" true (out_d = out_c);
+            check_bool "direct = dense" true (out_d = out_l)));
+    Alcotest.test_case "transient: backward Euler accepted" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code, out =
+              run [ "transient"; deck; "--t-end"; "200"; "--integration"; "be"; "--samples"; "3" ]
+            in
+            check_int "exit" 0 code;
+            check_bool "rows" true (contains out "t,e")));
+    Alcotest.test_case "transient: bad solver or integration exits 2" `Quick (fun () ->
+        with_fig7_deck (fun deck ->
+            let code_s, out_s = run [ "transient"; deck; "--t-end"; "200"; "--solver"; "qr" ] in
+            check_int "solver exit" 2 code_s;
+            check_bool "solver message" true (contains out_s "unknown solver");
+            let code_i, _ = run [ "transient"; deck; "--t-end"; "200"; "--integration"; "rk4" ] in
+            check_int "integration exit" 2 code_i;
+            let code_t, _ = run [ "transient"; deck; "--t-end=-1" ] in
+            check_int "t-end exit" 1 code_t));
     Alcotest.test_case "selfcheck: clean run exits 0" `Quick (fun () ->
         let code, out = run [ "selfcheck"; "--cases"; "15"; "--seed"; "42" ] in
         check_int "exit" 0 code;

@@ -509,6 +509,103 @@ let cg_tests =
             Cg.solve ~diag_precondition:[| 0.; 1. |] ~mul:(fun v -> v) [| 1.; 1. |]));
   ]
 
+(* --- Tree_ldl --------------------------------------------------------- *)
+
+let tree_ldl_tests =
+  let open Numeric in
+  let dense_of ~parent ~diag ~offdiag =
+    let n = Array.length diag in
+    Matrix.init n n (fun i j ->
+        if i = j then diag.(i)
+        else if parent.(i) = j then offdiag.(i)
+        else if parent.(j) = i then offdiag.(j)
+        else 0.)
+  in
+  (* a chain: parent i-1, the classic (2, -1) tridiagonal SPD matrix *)
+  let chain n =
+    ( Array.init n (fun i -> i - 1),
+      Array.make n 2.,
+      Array.init n (fun i -> if i = 0 then 0. else -1.) )
+  in
+  [
+    Alcotest.test_case "chain matches dense LU" `Quick (fun () ->
+        let parent, diag, offdiag = chain 30 in
+        let a = dense_of ~parent ~diag ~offdiag in
+        let b = Array.init 30 (fun i -> sin (float_of_int i)) in
+        let x_lu = Lu.solve a b in
+        let x_tree = Tree_ldl.solve (Tree_ldl.factor ~parent ~diag ~offdiag) b in
+        check_close ~eps:1e-10 "agree" 0. (Vector.max_abs_diff x_lu x_tree));
+    Alcotest.test_case "random forests match dense LU" `Quick (fun () ->
+        let st = Random.State.make [| 23 |] in
+        for trial = 1 to 10 do
+          let n = 2 + Random.State.int st 40 in
+          (* parents strictly before children; -1 makes a forest root *)
+          let parent = Array.init n (fun i -> if i = 0 then -1 else Random.State.int st (i + 1) - 1) in
+          let offdiag =
+            Array.init n (fun i ->
+                if parent.(i) = -1 then 0. else -.(0.1 +. Random.State.float st 2.))
+          in
+          (* diagonally dominant, hence SPD *)
+          let diag = Array.init n (fun i -> 0.5 +. Random.State.float st 1. +. Float.abs offdiag.(i)) in
+          Array.iteri (fun i p -> if p >= 0 then diag.(p) <- diag.(p) +. Float.abs offdiag.(i)) parent;
+          let b = Array.init n (fun i -> cos (float_of_int (i + trial))) in
+          let x_lu = Lu.solve (dense_of ~parent ~diag ~offdiag) b in
+          let x_tree = Tree_ldl.solve (Tree_ldl.factor ~parent ~diag ~offdiag) b in
+          check_close ~eps:1e-9 (Printf.sprintf "trial %d" trial) 0.
+            (Vector.max_abs_diff x_lu x_tree)
+        done);
+    Alcotest.test_case "solve_in_place equals solve and size reports n" `Quick (fun () ->
+        let parent, diag, offdiag = chain 12 in
+        let f = Tree_ldl.factor ~parent ~diag ~offdiag in
+        Alcotest.(check int) "size" 12 (Tree_ldl.size f);
+        let b = Array.init 12 float_of_int in
+        let x = Tree_ldl.solve f b in
+        Tree_ldl.solve_in_place f b;
+        check_close ~eps:0. "identical" 0. (Vector.max_abs_diff x b));
+    Alcotest.test_case "solve_in_place allocates nothing per solve" `Quick (fun () ->
+        (* metrics disabled (the default): after warm-up, repeated solves
+           must not touch the minor heap at all *)
+        let parent, diag, offdiag = chain 1000 in
+        let f = Tree_ldl.factor ~parent ~diag ~offdiag in
+        let b = Array.init 1000 (fun i -> float_of_int (i mod 7)) in
+        Tree_ldl.solve_in_place f b;
+        Gc.full_major ();
+        let w0 = Gc.minor_words () in
+        for _ = 1 to 100 do
+          Tree_ldl.solve_in_place f b
+        done;
+        let w1 = Gc.minor_words () in
+        (* slack only for boxing the Gc.minor_words results themselves *)
+        check_bool "no per-solve allocation" true (w1 -. w0 < 100.));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        let parent, diag, offdiag = chain 4 in
+        check_invalid "length mismatch" (fun () ->
+            Tree_ldl.factor ~parent ~diag ~offdiag:[| 0.; -1. |]);
+        check_invalid "parent not before child" (fun () ->
+            Tree_ldl.factor ~parent:[| -1; 1 |] ~diag:[| 2.; 2. |] ~offdiag:[| 0.; -1. |]);
+        check_invalid "parent out of range" (fun () ->
+            Tree_ldl.factor ~parent:[| -2; 0 |] ~diag:[| 2.; 2. |] ~offdiag:[| 0.; -1. |]);
+        check_invalid "not positive definite" (fun () ->
+            Tree_ldl.factor ~parent:[| -1; 0 |] ~diag:[| 1.; 1. |] ~offdiag:[| 0.; -2. |]);
+        let f = Tree_ldl.factor ~parent ~diag ~offdiag in
+        check_invalid "rhs length" (fun () -> Tree_ldl.solve_in_place f [| 1. |]));
+    Alcotest.test_case "pivot fault hook corrupts solves until disarmed" `Quick (fun () ->
+        let parent, diag, offdiag = chain 16 in
+        let b = Array.make 16 1. in
+        let clean = Tree_ldl.solve (Tree_ldl.factor ~parent ~diag ~offdiag) b in
+        Fun.protect
+          ~finally:(fun () -> Tree_ldl.set_pivot_fault None)
+          (fun () ->
+            Tree_ldl.set_pivot_fault (Some (0, 1.05));
+            Alcotest.(check bool)
+              "armed" true
+              (Tree_ldl.pivot_fault () = Some (0, 1.05));
+            let skewed = Tree_ldl.solve (Tree_ldl.factor ~parent ~diag ~offdiag) b in
+            check_bool "corrupted" true (Vector.max_abs_diff clean skewed > 1e-6));
+        let again = Tree_ldl.solve (Tree_ldl.factor ~parent ~diag ~offdiag) b in
+        check_close ~eps:0. "disarmed" 0. (Vector.max_abs_diff clean again));
+  ]
+
 (* --- Polynomial -------------------------------------------------------- *)
 
 let polynomial_tests =
@@ -570,4 +667,5 @@ let () =
       ("sparse", sparse_tests);
       ("polynomial", polynomial_tests);
       ("cg", cg_tests);
+      ("tree_ldl", tree_ldl_tests);
     ]
